@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's reported results (see the
+experiment index in DESIGN.md) and prints a plain-text table with the same
+rows/series the paper reports.  Absolute numbers differ from the paper's
+testbed measurements; the *shape* (who wins, by roughly what factor) is what
+EXPERIMENTS.md compares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    """Deterministic generator shared by benchmark workloads."""
+    return np.random.default_rng(2012)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are full simulations or algorithm sweeps: one round is
+    both representative and keeps the harness fast enough to run on a laptop.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

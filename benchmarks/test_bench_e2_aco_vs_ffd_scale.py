@@ -1,0 +1,93 @@
+"""E2 -- ACO vs FFD at scale: hosts and energy conserved.
+
+Paper claim (Section III.B): "compared to FFD, the ACO-based approach utilizes
+lower amounts of hosts and thus yields to superior average host utilization
+and energy gains.  Thereby, on average 4.7 % of hosts and 4.1 % of energy were
+conserved (including energy spent into the computation)."
+
+The benchmark sweeps instance sizes, packs each with FFD and ACO, charges each
+algorithm the energy of the hosts its placement keeps on for a fixed horizon
+*plus* the energy of its own computation, and reports the relative savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ACOConsolidation, FirstFitDecreasing
+from repro.core.aco import ACOParameters
+from repro.energy.accounting import static_placement_energy
+from repro.metrics.report import ComparisonTable
+from repro.workloads import UniformDemandDistribution, consolidation_instance
+
+from benchmarks.conftest import run_once
+
+INSTANCE_SIZES = (60, 120, 240)
+SEEDS = range(2)
+#: Power charged for algorithm computation (a busy management core).
+COMPUTE_POWER_WATTS = 120.0
+#: Horizon the placement stays in force before the next reconfiguration (1 h).
+PLACEMENT_HORIZON_S = 3600.0
+
+
+def _energy(result) -> float:
+    infrastructure = static_placement_energy(
+        result.hosts_used, result.placement.average_utilization(), PLACEMENT_HORIZON_S
+    )
+    computation = result.runtime_seconds * COMPUTE_POWER_WATTS
+    return infrastructure + computation
+
+
+def _run_experiment() -> dict:
+    table = ComparisonTable("E2: ACO vs FFD at scale (hosts, utilization, energy)")
+    host_savings, energy_savings, utilization_gains = [], [], []
+    for n_vms in INSTANCE_SIZES:
+        for seed in SEEDS:
+            rng = np.random.default_rng(seed)
+            demands, capacities = consolidation_instance(
+                n_vms,
+                rng,
+                demand_distribution=UniformDemandDistribution(0.1, 0.5, dimensions=("cpu", "memory")),
+                host_capacity=(1.0, 1.0),
+            )
+            ffd = FirstFitDecreasing().solve(demands, capacities)
+            aco = ACOConsolidation(
+                ACOParameters(n_ants=8, n_cycles=25), rng=np.random.default_rng(seed + 77)
+            ).solve(demands, capacities)
+            ffd_energy, aco_energy = _energy(ffd), _energy(aco)
+            host_savings.append(1.0 - aco.hosts_used / ffd.hosts_used)
+            energy_savings.append(1.0 - aco_energy / ffd_energy)
+            utilization_gains.append(
+                aco.placement.average_utilization() - ffd.placement.average_utilization()
+            )
+            table.add_row(
+                vms=n_vms,
+                seed=seed,
+                ffd_hosts=ffd.hosts_used,
+                aco_hosts=aco.hosts_used,
+                ffd_utilization=round(ffd.placement.average_utilization(), 3),
+                aco_utilization=round(aco.placement.average_utilization(), 3),
+                hosts_saved_pct=round(100 * host_savings[-1], 2),
+                energy_saved_pct=round(100 * energy_savings[-1], 2),
+                aco_runtime_s=round(aco.runtime_seconds, 2),
+            )
+    table.print()
+    summary = {
+        "mean_hosts_saved_pct": 100 * float(np.mean(host_savings)),
+        "mean_energy_saved_pct": 100 * float(np.mean(energy_savings)),
+        "mean_utilization_gain": float(np.mean(utilization_gains)),
+    }
+    print(
+        f"E2 summary: ACO saves {summary['mean_hosts_saved_pct']:.2f} % hosts and "
+        f"{summary['mean_energy_saved_pct']:.2f} % energy vs FFD "
+        f"(paper: 4.7 % hosts, 4.1 % energy)"
+    )
+    return summary
+
+
+def test_e2_aco_saves_hosts_and_energy_at_scale(benchmark):
+    """ACO keeps a single-digit-percent host/energy advantage over FFD at scale."""
+    summary = run_once(benchmark, _run_experiment)
+    assert summary["mean_hosts_saved_pct"] > 0.0
+    assert summary["mean_energy_saved_pct"] > 0.0
+    assert summary["mean_utilization_gain"] > 0.0

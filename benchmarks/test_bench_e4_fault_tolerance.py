@@ -1,0 +1,142 @@
+"""E4 -- Fault tolerance: recovery from GL / GM / LC failures under load.
+
+Paper claim (Section II.F): "the fault tolerance features of the framework do
+not impact application performance"; Section II.E describes the recovery
+behaviour for each component type.
+
+The benchmark runs a loaded deployment, injects each failure type and measures
+(1) the recovery time (new leader elected / orphaned LCs rejoined) and (2) the
+"application performance" proxy: the aggregate CPU work delivered to the
+still-running VMs per unit time, which should be unaffected by GL/GM failures
+and reduced only by the VMs lost to an LC crash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
+from repro.metrics.report import ComparisonTable
+from repro.workloads import BatchArrival, UniformDemandDistribution, WorkloadGenerator
+
+from benchmarks.conftest import run_once
+
+LCS = 48
+GMS = 4
+VMS = 96
+
+
+def _delivered_cpu_per_second(system: SnoozeSystem) -> float:
+    """Application-performance proxy: total CPU demand currently being served."""
+    return float(sum(node.used()["cpu"] for node in system.topology))
+
+
+def _build_loaded_system() -> SnoozeSystem:
+    system = SnoozeSystem(
+        SystemSpec(local_controllers=LCS, group_managers=GMS, entry_points=2),
+        config=HierarchyConfig(seed=41),
+        seed=41,
+    )
+    system.start()
+    generator = WorkloadGenerator(UniformDemandDistribution(0.1, 0.25), BatchArrival(0.0))
+    system.submit_requests(generator.generate(VMS, np.random.default_rng(41)))
+    system.run(60.0)
+    return system
+
+
+def _run_experiment() -> dict:
+    table = ComparisonTable("E4: recovery time and application impact per failure type")
+    results = {}
+
+    # --- Group Leader failure --------------------------------------------
+    system = _build_loaded_system()
+    throughput_before = _delivered_cpu_per_second(system)
+    t_fail = system.sim.now
+    old_leader = system.kill_group_leader()
+    system.run_until(
+        lambda: system.current_leader() not in (None, old_leader), timeout=300.0, step=1.0
+    )
+    gl_recovery = system.sim.now - t_fail
+    system.run_until(lambda: system.assigned_lc_count() == LCS, timeout=300.0, step=1.0)
+    gl_full_recovery = system.sim.now - t_fail
+    throughput_after = _delivered_cpu_per_second(system)
+    results["gl"] = {
+        "recovery_s": gl_recovery,
+        "full_recovery_s": gl_full_recovery,
+        "throughput_ratio": throughput_after / throughput_before,
+    }
+    table.add_row(
+        failure="group leader",
+        recovery_s=round(gl_recovery, 1),
+        lcs_rejoined_s=round(gl_full_recovery, 1),
+        app_throughput_ratio=round(results["gl"]["throughput_ratio"], 3),
+    )
+
+    # --- Group Manager failure -------------------------------------------
+    system = _build_loaded_system()
+    throughput_before = _delivered_cpu_per_second(system)
+    victim = next(
+        name
+        for name, gm in system.group_managers.items()
+        if gm.is_running and not gm.is_leader and len(gm.local_controllers) > 0
+    )
+    t_fail = system.sim.now
+    system.kill_group_manager(victim)
+    system.run_until(lambda: system.assigned_lc_count() == LCS, timeout=300.0, step=1.0)
+    gm_recovery = system.sim.now - t_fail
+    throughput_after = _delivered_cpu_per_second(system)
+    results["gm"] = {
+        "recovery_s": gm_recovery,
+        "throughput_ratio": throughput_after / throughput_before,
+    }
+    table.add_row(
+        failure="group manager",
+        recovery_s=round(gm_recovery, 1),
+        lcs_rejoined_s=round(gm_recovery, 1),
+        app_throughput_ratio=round(results["gm"]["throughput_ratio"], 3),
+    )
+
+    # --- Local Controller failure ----------------------------------------
+    system = _build_loaded_system()
+    throughput_before = _delivered_cpu_per_second(system)
+    victim_lc = next(
+        name for name, lc in system.local_controllers.items() if lc.is_running and lc.node.vm_count > 0
+    )
+    lost_vms = system.local_controllers[victim_lc].node.vm_count
+    t_fail = system.sim.now
+    system.kill_local_controller(victim_lc)
+    system.run(4 * system.config.heartbeat_timeout)
+    throughput_after = _delivered_cpu_per_second(system)
+    results["lc"] = {
+        "lost_vms": lost_vms,
+        "throughput_ratio": throughput_after / throughput_before,
+        "expected_ratio": 1.0 - lost_vms / VMS,
+    }
+    table.add_row(
+        failure="local controller",
+        recovery_s=round(4 * system.config.heartbeat_timeout, 1),
+        lcs_rejoined_s="n/a",
+        app_throughput_ratio=round(results["lc"]["throughput_ratio"], 3),
+    )
+
+    table.print()
+    print(
+        f"E4 summary: GL failover in {results['gl']['recovery_s']:.1f}s, GM recovery in "
+        f"{results['gm']['recovery_s']:.1f}s; application throughput ratio after GL/GM failure "
+        f"{results['gl']['throughput_ratio']:.3f}/{results['gm']['throughput_ratio']:.3f} (paper: no impact)"
+    )
+    return results
+
+
+def test_e4_failures_recover_without_hurting_applications(benchmark):
+    """Failures heal within a few heartbeat periods and leave running VMs untouched."""
+    results = run_once(benchmark, _run_experiment)
+    config = HierarchyConfig()
+    # Recovery happens within a handful of session/heartbeat timeouts.
+    assert results["gl"]["recovery_s"] <= 5 * config.session_timeout
+    assert results["gm"]["recovery_s"] <= 10 * config.heartbeat_timeout
+    # GL / GM failures do not affect the applications at all.
+    assert results["gl"]["throughput_ratio"] >= 0.999
+    assert results["gm"]["throughput_ratio"] >= 0.999
+    # An LC failure costs exactly the VMs it hosted, nothing more.
+    assert results["lc"]["throughput_ratio"] >= results["lc"]["expected_ratio"] - 0.1

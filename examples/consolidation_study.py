@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Consolidation study: ACO vs FFD variants vs the exact optimum.
+
+Reproduces the flavour of the paper's Section III.B evaluation (the GRID'11
+study it summarizes): over several random instances, compare the number of
+hosts used, the average host utilization, the energy of the resulting
+placement (including the energy spent computing it) and -- on small instances
+-- the deviation from the exact optimum.
+
+Run with:  python examples/consolidation_study.py [--quick]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import (
+    ACOConsolidation,
+    BestFitDecreasing,
+    BranchAndBoundOptimal,
+    FirstFitDecreasing,
+)
+from repro.core.aco import ACOParameters
+from repro.core.ffd import SortKey
+from repro.energy.accounting import static_placement_energy
+from repro.metrics.report import ComparisonTable
+from repro.workloads import UniformDemandDistribution, consolidation_instance
+
+#: Computation power charged for algorithm runtime (same constant as the E2 bench).
+COMPUTE_POWER_WATTS = 120.0
+#: Horizon the placement stays in force (the GRID'11 accounting interval).
+PLACEMENT_HORIZON_S = 3600.0
+
+
+def small_instance_study(seeds: range) -> None:
+    """Small instances where the exact optimum is provable: deviation from optimal."""
+    table = ComparisonTable("Small instances: deviation from the exact optimum")
+    deviations = {"ffd": [], "aco": []}
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        demands, capacities = consolidation_instance(
+            12,
+            rng,
+            demand_distribution=UniformDemandDistribution(0.1, 0.5, dimensions=("cpu", "memory")),
+            host_capacity=(1.0, 1.0),
+        )
+        optimal = BranchAndBoundOptimal(time_limit_seconds=10.0).solve(demands, capacities)
+        ffd = FirstFitDecreasing().solve(demands, capacities)
+        aco = ACOConsolidation(
+            ACOParameters(n_ants=10, n_cycles=40), rng=np.random.default_rng(seed + 1000)
+        ).solve(demands, capacities)
+        deviations["ffd"].append(ffd.hosts_used / optimal.hosts_used - 1.0)
+        deviations["aco"].append(aco.hosts_used / optimal.hosts_used - 1.0)
+        table.add_row(
+            seed=seed,
+            optimal=optimal.hosts_used,
+            ffd=ffd.hosts_used,
+            aco=aco.hosts_used,
+            aco_deviation=f"{100 * deviations['aco'][-1]:.1f}%",
+        )
+    table.print()
+    print(
+        f"mean deviation from optimal: ACO {100 * np.mean(deviations['aco']):.2f} %, "
+        f"FFD {100 * np.mean(deviations['ffd']):.2f} %  (paper: ACO ~1.1 %)\n"
+    )
+
+
+def scale_study(sizes, seeds: range) -> None:
+    """Larger instances: hosts and energy saved by ACO relative to FFD."""
+    table = ComparisonTable("Scale study: ACO vs FFD (hosts and energy)")
+    host_savings, energy_savings = [], []
+    for n_vms in sizes:
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            demands, capacities = consolidation_instance(
+                n_vms,
+                rng,
+                demand_distribution=UniformDemandDistribution(0.1, 0.5, dimensions=("cpu", "memory")),
+                host_capacity=(1.0, 1.0),
+            )
+            algorithms = {
+                "ffd": FirstFitDecreasing(sort_key=SortKey.SINGLE_DIMENSION),
+                "bfd": BestFitDecreasing(),
+                "aco": ACOConsolidation(
+                    ACOParameters(n_ants=8, n_cycles=25), rng=np.random.default_rng(seed + 500)
+                ),
+            }
+            results = {name: algo.solve(demands, capacities) for name, algo in algorithms.items()}
+            energies = {
+                name: static_placement_energy(
+                    result.hosts_used,
+                    result.placement.average_utilization(),
+                    PLACEMENT_HORIZON_S,
+                )
+                + result.runtime_seconds * COMPUTE_POWER_WATTS
+                for name, result in results.items()
+            }
+            host_savings.append(1.0 - results["aco"].hosts_used / results["ffd"].hosts_used)
+            energy_savings.append(1.0 - energies["aco"] / energies["ffd"])
+            table.add_row(
+                vms=n_vms,
+                seed=seed,
+                ffd_hosts=results["ffd"].hosts_used,
+                bfd_hosts=results["bfd"].hosts_used,
+                aco_hosts=results["aco"].hosts_used,
+                aco_energy_saving=f"{100 * energy_savings[-1]:.1f}%",
+            )
+    table.print()
+    print(
+        f"mean ACO saving vs FFD: hosts {100 * np.mean(host_savings):.2f} %, "
+        f"energy {100 * np.mean(energy_savings):.2f} %  (paper: 4.7 % hosts, 4.1 % energy)\n"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer seeds/sizes for a fast run")
+    args = parser.parse_args()
+    if args.quick:
+        small_instance_study(range(3))
+        scale_study([50, 100], range(2))
+    else:
+        small_instance_study(range(8))
+        scale_study([50, 100, 200], range(3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the two contributions of the paper in ~60 lines.
+
+1. Pack a batch of VMs with the ACO consolidation algorithm and compare it to
+   First-Fit Decreasing (Section III of the paper).
+2. Spin up a small Snooze hierarchy, submit VMs through the client layer and
+   print the resulting hierarchy organization (Section II).
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ACOConsolidation, FirstFitDecreasing
+from repro.core.aco import ACOParameters
+from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
+from repro.workloads import BatchArrival, UniformDemandDistribution, WorkloadGenerator, consolidation_instance
+
+
+def consolidation_demo() -> None:
+    """ACO vs FFD on one synthetic instance."""
+    print("=== 1. ACO-based consolidation vs FFD ===")
+    rng = np.random.default_rng(7)
+    demands, capacities = consolidation_instance(
+        60,
+        rng,
+        demand_distribution=UniformDemandDistribution(0.1, 0.5, dimensions=("cpu", "memory")),
+        host_capacity=(1.0, 1.0),
+    )
+    ffd = FirstFitDecreasing().solve(demands, capacities)
+    aco = ACOConsolidation(ACOParameters(n_ants=8, n_cycles=30), rng=np.random.default_rng(1)).solve(
+        demands, capacities
+    )
+    print(f"  FFD : {ffd.hosts_used:3d} hosts, mean utilization {ffd.placement.average_utilization():.3f}")
+    print(f"  ACO : {aco.hosts_used:3d} hosts, mean utilization {aco.placement.average_utilization():.3f}")
+    saved = ffd.hosts_used - aco.hosts_used
+    print(f"  ACO saves {saved} host(s) ({100.0 * saved / ffd.hosts_used:.1f} % fewer hosts)\n")
+
+
+def hierarchy_demo() -> None:
+    """A small Snooze deployment: self-organization, submission, placement."""
+    print("=== 2. Snooze hierarchy ===")
+    system = SnoozeSystem(
+        SystemSpec(local_controllers=8, group_managers=2, entry_points=1),
+        config=HierarchyConfig(),
+        seed=42,
+    )
+    system.start()
+    print(f"  elected Group Leader: {system.current_leader()}")
+    print(f"  Local Controllers joined: {system.assigned_lc_count()} / 8")
+
+    generator = WorkloadGenerator(UniformDemandDistribution(0.1, 0.3), BatchArrival(0.0))
+    requests = generator.generate(16, np.random.default_rng(3))
+    system.submit_requests(requests)
+    system.run(120.0)
+
+    stats = system.stats()
+    print(f"  submitted {stats['submissions']} VMs, placed {stats['placed']}")
+    print(f"  mean submission latency: {1000 * stats['mean_submission_latency']:.1f} ms")
+    print(f"  active hosts: {stats['active_hosts']} / 8")
+    print("\n  hierarchy organization:")
+    snapshot = system.hierarchy_snapshot()
+    for gm, info in sorted(snapshot["group_managers"].items()):
+        marker = " (leader)" if info.get("is_leader") else ""
+        lcs = info.get("local_controllers", [])
+        print(f"    {gm}{marker}: {len(lcs)} local controllers")
+
+
+if __name__ == "__main__":
+    consolidation_demo()
+    hierarchy_demo()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scalability study: submission latency vs cluster size and number of GMs.
+
+Reproduces the shape of the paper's Section II.F claim: "negligible cost is
+involved in performing distributed VM management and the system remains highly
+scalable with increasing amounts of VMs and hosts."  The script sweeps the
+number of Local Controllers and Group Managers, submits a burst of VMs and
+reports the client-observed submission latency plus management-message
+overhead.
+
+Run with:  python examples/scalability_study.py [--quick]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
+from repro.metrics.report import ComparisonTable
+from repro.workloads import BatchArrival, UniformDemandDistribution, WorkloadGenerator
+
+
+def run_configuration(lcs: int, gms: int, vms: int, seed: int = 0) -> dict:
+    """One data point: an LC/GM sizing and a VM burst."""
+    system = SnoozeSystem(
+        SystemSpec(local_controllers=lcs, group_managers=gms, entry_points=1),
+        config=HierarchyConfig(seed=seed),
+        seed=seed,
+    )
+    system.start()
+    generator = WorkloadGenerator(UniformDemandDistribution(0.05, 0.2), BatchArrival(0.0))
+    system.submit_requests(generator.generate(vms, np.random.default_rng(seed)))
+    system.run_until(
+        lambda: len(system.client.records) >= vms and system.client.pending_count() == 0,
+        timeout=600.0,
+        step=5.0,
+    )
+    stats = system.stats()
+    latencies = system.client.latencies()
+    return {
+        "lcs": lcs,
+        "gms": gms,
+        "vms": vms,
+        "placed": stats["placed"],
+        "mean_latency_ms": 1000.0 * float(np.mean(latencies)) if latencies else float("nan"),
+        "p95_latency_ms": 1000.0 * float(np.percentile(latencies, 95)) if latencies else float("nan"),
+        "messages": stats["network"]["messages_sent"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweep for a fast run")
+    args = parser.parse_args()
+
+    if args.quick:
+        lc_sweep = [(16, 1), (16, 2), (32, 2)]
+        vm_counts = [50]
+    else:
+        lc_sweep = [(16, 1), (16, 2), (48, 2), (48, 4), (96, 4), (144, 4)]
+        vm_counts = [100, 250]
+
+    table = ComparisonTable("Submission latency vs cluster size and GM count")
+    for vms in vm_counts:
+        for lcs, gms in lc_sweep:
+            outcome = run_configuration(lcs, gms, vms)
+            table.add_row(
+                hosts=outcome["lcs"],
+                group_managers=outcome["gms"],
+                vms_submitted=outcome["vms"],
+                placed=outcome["placed"],
+                mean_latency_ms=round(outcome["mean_latency_ms"], 2),
+                p95_latency_ms=round(outcome["p95_latency_ms"], 2),
+                management_messages=outcome["messages"],
+            )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

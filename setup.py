@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments without the ``wheel`` package
+(legacy ``setup.py develop`` editable installs, e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

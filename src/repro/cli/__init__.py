@@ -1,0 +1,13 @@
+"""Command-line interface.
+
+The paper's Snooze implementation ships a CLI "implemented on top of those
+services. It supports the VM management as well as live visualizing and
+exporting of the hierarchy organization."  The reproduction's ``repro-sim``
+command offers the equivalent for the simulated system: run a deployment
+scenario, print the hierarchy organization, and run consolidation algorithm
+comparisons from the terminal.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,197 @@
+"""Physical node ("Local Controller host") model.
+
+A :class:`PhysicalNode` tracks its capacity, the VMs placed on it, its power
+state, and can answer the questions the management layer asks:
+
+* does this VM fit? (reservation-based admission)
+* what is my current utilization? (usage-based, for overload/underload
+  detection and for the power model)
+* am I idle? (for the energy manager's suspend decision)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster.power import LinearPowerModel, PowerModel
+from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceError, ResourceVector
+from repro.cluster.vm import VirtualMachine, VMState
+
+
+class NodeState(enum.Enum):
+    """Power / availability state of a physical node."""
+
+    ON = "on"
+    SUSPENDING = "suspending"
+    SUSPENDED = "suspended"
+    WAKING = "waking"
+    #: Crashed (failure injection); distinct from SUSPENDED because it is
+    #: involuntary and loses the hosted VMs.
+    FAILED = "failed"
+
+
+class PhysicalNode:
+    """A host managed by one Snooze Local Controller."""
+
+    def __init__(
+        self,
+        node_id: str,
+        capacity: Optional[ResourceVector] = None,
+        power_model: Optional[PowerModel] = None,
+        power_state_name: str = "suspend",
+    ) -> None:
+        self.node_id = str(node_id)
+        self.capacity = capacity or ResourceVector([1.0, 1.0, 1.0], DEFAULT_DIMENSIONS)
+        if not self.capacity.is_nonnegative() or self.capacity.l1() == 0:
+            raise ResourceError(f"node {node_id} capacity must be positive, got {self.capacity}")
+        self.power_model: PowerModel = power_model or LinearPowerModel()
+        #: Name of the administrator-selected low power state (paper Section III).
+        self.power_state_name = power_state_name
+        self.state = NodeState.ON
+        self._vms: Dict[int, VirtualMachine] = {}
+        #: Simulated time at which the node last became idle (no VMs); used by
+        #: the energy manager's idle-time threshold.
+        self.idle_since: Optional[float] = 0.0
+        #: Cumulative bookkeeping for reports.
+        self.total_vms_hosted = 0
+        self.suspend_count = 0
+        self.wakeup_count = 0
+
+    # ------------------------------------------------------------------ VMs
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        """VMs currently placed on this node (running or migrating)."""
+        return list(self._vms.values())
+
+    @property
+    def vm_count(self) -> int:
+        """Number of VMs currently placed on the node."""
+        return len(self._vms)
+
+    def hosts_vm(self, vm: VirtualMachine) -> bool:
+        """True if the VM is currently placed here."""
+        return vm.vm_id in self._vms
+
+    def reserved(self) -> ResourceVector:
+        """Sum of the *requested* vectors of hosted VMs (admission-control view)."""
+        if not self._vms:
+            return ResourceVector.zeros(self.capacity.dimensions)
+        total = np.zeros(len(self.capacity))
+        for vm in self._vms.values():
+            total += vm.requested.values
+        return ResourceVector(total, self.capacity.dimensions)
+
+    def used(self) -> ResourceVector:
+        """Sum of the *used* vectors of hosted VMs (monitoring view)."""
+        if not self._vms:
+            return ResourceVector.zeros(self.capacity.dimensions)
+        total = np.zeros(len(self.capacity))
+        for vm in self._vms.values():
+            total += vm.used.values
+        return ResourceVector(total, self.capacity.dimensions)
+
+    def available(self) -> ResourceVector:
+        """Remaining reservable capacity."""
+        return (self.capacity - self.reserved()).clamp_nonnegative()
+
+    def utilization(self) -> float:
+        """Scalar CPU utilization in [0, 1] based on current usage."""
+        dims = self.capacity.dimensions
+        cpu_index = dims.index("cpu") if "cpu" in dims else 0
+        cap = self.capacity.values[cpu_index]
+        if cap <= 0:
+            return 0.0
+        return float(min(self.used().values[cpu_index] / cap, 1.0))
+
+    def utilization_vector(self) -> ResourceVector:
+        """Per-dimension utilization fractions (usage / capacity)."""
+        return self.used() / self.capacity
+
+    def fits(self, vm: VirtualMachine) -> bool:
+        """Reservation-based admission check."""
+        return (self.reserved() + vm.requested).fits_within(self.capacity)
+
+    def place_vm(self, vm: VirtualMachine, now: float = 0.0) -> None:
+        """Place a VM on this node, reserving its requested capacity.
+
+        Raises :class:`ResourceError` if the VM does not fit or the node is
+        not powered on -- the scheduler is expected to have checked both.
+        """
+        if self.state is not NodeState.ON:
+            raise ResourceError(f"cannot place VM on node {self.node_id} in state {self.state}")
+        if vm.vm_id in self._vms:
+            raise ResourceError(f"VM {vm.name} already placed on node {self.node_id}")
+        if not self.fits(vm):
+            raise ResourceError(
+                f"VM {vm.name} ({vm.requested.as_dict()}) does not fit on node "
+                f"{self.node_id} (available {self.available().as_dict()})"
+            )
+        self._vms[vm.vm_id] = vm
+        vm.mark_started(now, self.node_id)
+        self.total_vms_hosted += 1
+        self.idle_since = None
+
+    def remove_vm(self, vm: VirtualMachine, now: float = 0.0) -> None:
+        """Remove a VM (it finished, failed over, or is migrating away)."""
+        if vm.vm_id not in self._vms:
+            raise ResourceError(f"VM {vm.name} is not on node {self.node_id}")
+        del self._vms[vm.vm_id]
+        if vm.host_id == self.node_id:
+            vm.host_id = None
+        if not self._vms:
+            self.idle_since = now
+
+    def evict_all(self, now: float = 0.0) -> List[VirtualMachine]:
+        """Remove and return all VMs (used by failure injection)."""
+        vms = list(self._vms.values())
+        self._vms.clear()
+        self.idle_since = now
+        return vms
+
+    # ----------------------------------------------------------------- power
+    @property
+    def is_idle(self) -> bool:
+        """True if ON with no VMs placed."""
+        return self.state is NodeState.ON and not self._vms
+
+    @property
+    def is_available_for_placement(self) -> bool:
+        """True if new VMs may be scheduled here right now (ON and not failed)."""
+        return self.state is NodeState.ON
+
+    def idle_duration(self, now: float) -> float:
+        """Seconds the node has been idle, or 0 if busy / not ON."""
+        if not self.is_idle or self.idle_since is None:
+            return 0.0
+        return max(0.0, now - self.idle_since)
+
+    def current_power(self, sleep_power: Optional[float] = None) -> float:
+        """Instantaneous power draw in Watts given the node's state and utilization."""
+        if self.state is NodeState.FAILED:
+            return 0.0
+        if self.state is NodeState.SUSPENDED:
+            return sleep_power if sleep_power is not None else 10.0
+        if self.state in (NodeState.SUSPENDING, NodeState.WAKING):
+            # Transitions draw roughly full power (disks spinning, devices resuming).
+            return self.power_model.max_power()
+        return self.power_model.power(self.utilization())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.node_id} state={self.state.value} vms={len(self._vms)} "
+            f"util={self.utilization():.2f}>"
+        )
+
+
+def release_finished_vms(nodes: Iterable[PhysicalNode], now: float) -> List[VirtualMachine]:
+    """Sweep helper removing VMs whose state is FINISHED/FAILED from their hosts."""
+    released: List[VirtualMachine] = []
+    for node in nodes:
+        for vm in node.vms:
+            if vm.state in (VMState.FINISHED, VMState.FAILED):
+                node.remove_vm(vm, now)
+                released.append(vm)
+    return released

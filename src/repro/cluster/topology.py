@@ -1,0 +1,172 @@
+"""Cluster topology construction.
+
+The paper's testbed was a 144-node Grid'5000 cluster.  This module builds the
+simulated equivalent: a set of homogeneous (or heterogeneous) physical nodes
+with a network graph connecting them (used by the migration cost model to look
+up bandwidth between hosts).  The graph is a :mod:`networkx` graph so examples
+and benchmarks can also reason about rack-level structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.cluster.power import LinearPowerModel, PowerModel
+from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
+from repro.cluster.node import PhysicalNode
+
+
+@dataclass
+class ClusterSpec:
+    """Declarative description of a cluster to build.
+
+    Attributes
+    ----------
+    node_count:
+        Number of physical nodes (Local Controller hosts).
+    node_capacity:
+        Capacity vector per node.  Defaults to a normalized unit host.
+    nodes_per_rack:
+        Rack size; intra-rack links are faster than inter-rack links.
+    intra_rack_bandwidth_mbps / inter_rack_bandwidth_mbps:
+        Link bandwidths used by the live-migration model.
+    p_idle / p_max:
+        Linear power model constants applied to every node.
+    heterogeneity:
+        If > 0, per-node capacities are scaled by ``1 + U(-h, +h)`` to model a
+        mildly heterogeneous cluster (requires an rng at build time).
+    """
+
+    node_count: int = 16
+    node_capacity: Sequence[float] = (1.0, 1.0, 1.0)
+    dimensions: Sequence[str] = DEFAULT_DIMENSIONS
+    nodes_per_rack: int = 24
+    intra_rack_bandwidth_mbps: float = 1000.0
+    inter_rack_bandwidth_mbps: float = 500.0
+    p_idle: float = 170.0
+    p_max: float = 250.0
+    heterogeneity: float = 0.0
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if self.nodes_per_rack <= 0:
+            raise ValueError("nodes_per_rack must be positive")
+        if not (0.0 <= self.heterogeneity < 1.0):
+            raise ValueError("heterogeneity must be in [0, 1)")
+
+
+class ClusterTopology:
+    """A built cluster: nodes plus a rack-structured network graph."""
+
+    def __init__(self, spec: ClusterSpec, nodes: List[PhysicalNode], graph: nx.Graph) -> None:
+        self.spec = spec
+        self.nodes = nodes
+        self.graph = graph
+        self._by_id: Dict[str, PhysicalNode] = {node.node_id: node for node in nodes}
+
+    # ----------------------------------------------------------------- access
+    def node(self, node_id: str) -> PhysicalNode:
+        """Look a node up by id; raises ``KeyError`` if unknown."""
+        return self._by_id[node_id]
+
+    def node_ids(self) -> List[str]:
+        """All node ids in creation order."""
+        return [node.node_id for node in self.nodes]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def rack_of(self, node_id: str) -> int:
+        """Rack index of a node."""
+        return int(self.graph.nodes[node_id]["rack"])
+
+    def bandwidth_mbps(self, src_id: str, dst_id: str) -> float:
+        """Bandwidth between two hosts, used by the live-migration cost model."""
+        if src_id == dst_id:
+            return float("inf")
+        if self.rack_of(src_id) == self.rack_of(dst_id):
+            return self.spec.intra_rack_bandwidth_mbps
+        return self.spec.inter_rack_bandwidth_mbps
+
+    # ------------------------------------------------------------- aggregates
+    def total_capacity(self) -> ResourceVector:
+        """Sum of all node capacities."""
+        total = np.zeros(len(self.spec.dimensions))
+        for node in self.nodes:
+            total += node.capacity.values
+        return ResourceVector(total, tuple(self.spec.dimensions))
+
+    def powered_on_nodes(self) -> List[PhysicalNode]:
+        """Nodes currently available for placement."""
+        return [node for node in self.nodes if node.is_available_for_placement]
+
+    def active_node_count(self) -> int:
+        """Number of nodes hosting at least one VM."""
+        return sum(1 for node in self.nodes if node.vm_count > 0)
+
+
+def homogeneous_nodes(
+    count: int,
+    capacity: Sequence[float] = (1.0, 1.0, 1.0),
+    dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
+    power_model: Optional[PowerModel] = None,
+    prefix: str = "node",
+) -> List[PhysicalNode]:
+    """Build ``count`` identical nodes named ``{prefix}-000`` ... ."""
+    model = power_model or LinearPowerModel()
+    vector = ResourceVector(list(capacity), tuple(dimensions))
+    return [
+        PhysicalNode(f"{prefix}-{index:03d}", capacity=vector, power_model=model)
+        for index in range(count)
+    ]
+
+
+def build_cluster(spec: ClusterSpec, rng: Optional[np.random.Generator] = None) -> ClusterTopology:
+    """Materialize a :class:`ClusterTopology` from a :class:`ClusterSpec`."""
+    if spec.heterogeneity > 0 and rng is None:
+        raise ValueError("heterogeneous clusters require an rng")
+    power_model = LinearPowerModel(p_idle=spec.p_idle, p_max=spec.p_max)
+    base = np.asarray(spec.node_capacity, dtype=float)
+    nodes: List[PhysicalNode] = []
+    for index in range(spec.node_count):
+        capacity = base.copy()
+        if spec.heterogeneity > 0:
+            capacity = capacity * (1.0 + rng.uniform(-spec.heterogeneity, spec.heterogeneity))
+        nodes.append(
+            PhysicalNode(
+                f"{spec.name}-node-{index:03d}",
+                capacity=ResourceVector(capacity, tuple(spec.dimensions)),
+                power_model=power_model,
+            )
+        )
+
+    graph = nx.Graph()
+    for index, node in enumerate(nodes):
+        graph.add_node(node.node_id, rack=index // spec.nodes_per_rack)
+    # Star topology per rack through a rack switch node, racks joined by a core
+    # switch; bandwidth lookups go through ClusterTopology.bandwidth_mbps so the
+    # graph mainly records rack membership and connectivity.
+    rack_count = (spec.node_count + spec.nodes_per_rack - 1) // spec.nodes_per_rack
+    for rack in range(rack_count):
+        switch = f"{spec.name}-rackswitch-{rack:02d}"
+        graph.add_node(switch, rack=rack, switch=True)
+        graph.add_edge(switch, f"{spec.name}-coreswitch", bandwidth=spec.inter_rack_bandwidth_mbps)
+    graph.nodes[f"{spec.name}-coreswitch"]["rack"] = -1
+    graph.nodes[f"{spec.name}-coreswitch"]["switch"] = True
+    for index, node in enumerate(nodes):
+        rack = index // spec.nodes_per_rack
+        graph.add_edge(
+            node.node_id,
+            f"{spec.name}-rackswitch-{rack:02d}",
+            bandwidth=spec.intra_rack_bandwidth_mbps,
+        )
+    return ClusterTopology(spec, nodes, graph)

@@ -1,0 +1,31 @@
+"""Coordination service: ZooKeeper substitute and leader election.
+
+Snooze builds its Group Leader election "on top of the Apache ZooKeeper highly
+available and reliable coordination system" (paper Section II.D).  The
+reproduction provides an in-simulation coordination service exposing the same
+primitives ZooKeeper recipes rely on -- a hierarchical znode namespace with
+persistent, ephemeral and sequential nodes, watches, and sessions whose expiry
+deletes their ephemeral nodes -- plus the standard leader-election recipe used
+by Snooze (create an ephemeral sequential node, the lowest sequence number
+leads, everyone else watches its predecessor).
+"""
+
+from repro.coordination.znodes import (
+    CoordinationError,
+    CoordinationService,
+    NodeExistsError,
+    NoNodeError,
+    Session,
+    ZNode,
+)
+from repro.coordination.election import LeaderElection
+
+__all__ = [
+    "CoordinationService",
+    "CoordinationError",
+    "NodeExistsError",
+    "NoNodeError",
+    "Session",
+    "ZNode",
+    "LeaderElection",
+]

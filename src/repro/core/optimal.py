@@ -1,0 +1,186 @@
+"""Exact vector bin packing by branch and bound.
+
+The paper obtains the optimal number of hosts with CPLEX on small instances
+and reports that the ACO algorithm lands within 1.1 % of it.  We substitute an
+exact branch-and-bound solver (DESIGN.md section 1): it explores assignments
+of VMs (largest first) to hosts, prunes with the per-dimension L1 lower bound
+and with symmetry breaking over identical empty hosts, and can be bounded by a
+node budget or wall-clock deadline so benchmarks stay laptop-friendly.
+
+On the instance sizes used for E1 (5-20 VMs) the solver always proves the
+optimum well within its budget; on larger instances it degrades gracefully to
+"best found so far" with ``proved_optimal=False``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import (
+    ConsolidationAlgorithm,
+    ConsolidationResult,
+    lower_bound_hosts,
+    validate_instance,
+)
+from repro.core.ffd import FirstFitDecreasing, SortKey
+from repro.core.placement import Placement
+
+
+@dataclass
+class OptimalResult(ConsolidationResult):
+    """ConsolidationResult with branch-and-bound specific counters."""
+
+    nodes_explored: int = 0
+    proof_complete: bool = False
+
+
+class BranchAndBoundOptimal(ConsolidationAlgorithm):
+    """Exact minimum-hosts vector bin packing (CPLEX substitute)."""
+
+    name = "optimal"
+
+    def __init__(
+        self,
+        max_nodes: int = 2_000_000,
+        time_limit_seconds: Optional[float] = 30.0,
+    ) -> None:
+        if max_nodes <= 0:
+            raise ValueError("max_nodes must be positive")
+        if time_limit_seconds is not None and time_limit_seconds <= 0:
+            raise ValueError("time_limit_seconds must be positive or None")
+        self.max_nodes = int(max_nodes)
+        self.time_limit_seconds = time_limit_seconds
+
+    def solve(self, demands: np.ndarray, capacities: np.ndarray) -> ConsolidationResult:
+        demands, capacities = validate_instance(demands, capacities)
+        return self._timed_solve(lambda: self._search(demands, capacities), demands, capacities)
+
+    # ----------------------------------------------------------------- search
+    def _search(self, demands: np.ndarray, capacities: np.ndarray) -> OptimalResult:
+        n_vms = demands.shape[0]
+        n_hosts = capacities.shape[0]
+        if n_vms == 0:
+            return OptimalResult(
+                placement=Placement(demands, capacities),
+                algorithm=self.name,
+                proved_optimal=True,
+                proof_complete=True,
+            )
+
+        homogeneous = bool(np.all(capacities == capacities[0]))
+        global_bound = lower_bound_hosts(demands, capacities)
+
+        # Seed the incumbent with FFD so pruning starts effective immediately.
+        seed = FirstFitDecreasing(sort_key=SortKey.L1).solve(demands, capacities)
+        best_assignment = seed.placement.assignment.copy()
+        best_hosts = seed.placement.hosts_used()
+
+        # Branch on VMs in decreasing L1 size: large items first maximizes pruning.
+        order = np.argsort(-demands.sum(axis=1), kind="stable")
+        deadline = (
+            time.perf_counter() + self.time_limit_seconds
+            if self.time_limit_seconds is not None
+            else None
+        )
+
+        assignment = np.full(n_vms, -1, dtype=np.int64)
+        residual = capacities.astype(float).copy()
+        host_used = np.zeros(n_hosts, dtype=bool)
+        state = {"nodes": 0, "best_hosts": best_hosts, "best_assignment": best_assignment,
+                 "complete": True}
+
+        # Suffix sums of demands in branching order for a look-ahead bound.
+        ordered_demands = demands[order]
+        suffix_totals = np.vstack(
+            [np.cumsum(ordered_demands[::-1], axis=0)[::-1], np.zeros((1, demands.shape[1]))]
+        )
+        max_capacity = capacities.max(axis=0)
+
+        def budget_exceeded() -> bool:
+            if state["nodes"] >= self.max_nodes:
+                return True
+            if deadline is not None and state["nodes"] % 4096 == 0 and time.perf_counter() > deadline:
+                return True
+            return False
+
+        def recurse(depth: int, used_count: int) -> None:
+            if budget_exceeded():
+                state["complete"] = False
+                return
+            state["nodes"] += 1
+            if depth == n_vms:
+                if used_count < state["best_hosts"]:
+                    state["best_hosts"] = used_count
+                    state["best_assignment"] = assignment.copy()
+                return
+            # Bound: even with perfect packing of the remaining demand we need
+            # at least ceil(remaining / max_capacity) hosts beyond... note the
+            # remaining demand may partially fit in already-open hosts, so the
+            # sound bound uses total demand of remaining VMs against the best
+            # host capacity, minus what open hosts can still absorb.
+            remaining = suffix_totals[depth]
+            open_slack = residual[host_used].sum(axis=0) if used_count else np.zeros_like(remaining)
+            extra_needed = np.max(
+                np.ceil((remaining - open_slack) / max_capacity - 1e-9).clip(min=0.0)
+            )
+            if used_count + extra_needed >= state["best_hosts"]:
+                return
+            vm = order[depth]
+            demand = demands[vm]
+
+            # Try already-used hosts first (better packings found earlier).
+            used_indices = np.flatnonzero(host_used)
+            if used_indices.size:
+                fits = np.all(residual[used_indices] >= demand - 1e-9, axis=1)
+                candidates = used_indices[fits]
+            else:
+                candidates = np.empty(0, dtype=np.int64)
+            for host in candidates:
+                assignment[vm] = host
+                residual[host] -= demand
+                recurse(depth + 1, used_count)
+                residual[host] += demand
+                assignment[vm] = -1
+                if not state["complete"]:
+                    return
+
+            # Then try opening a new host.  With homogeneous hosts all empty
+            # hosts are interchangeable: only try the first one (symmetry
+            # breaking).  Opening one is only useful if it keeps us below the
+            # incumbent.
+            if used_count + 1 >= state["best_hosts"]:
+                return
+            empty_indices = np.flatnonzero(~host_used)
+            if empty_indices.size == 0:
+                return
+            new_hosts = empty_indices[:1] if homogeneous else empty_indices
+            for host in new_hosts:
+                if not np.all(capacities[host] >= demand - 1e-9):
+                    continue
+                assignment[vm] = host
+                residual[host] -= demand
+                host_used[host] = True
+                recurse(depth + 1, used_count + 1)
+                host_used[host] = False
+                residual[host] += demand
+                assignment[vm] = -1
+                if not state["complete"]:
+                    return
+
+        recurse(0, 0)
+
+        placement = Placement(demands, capacities, state["best_assignment"])
+        proved = state["complete"] or state["best_hosts"] <= global_bound
+        return OptimalResult(
+            placement=placement,
+            algorithm=self.name,
+            iterations=state["nodes"],
+            proved_optimal=proved,
+            proof_complete=state["complete"],
+            nodes_explored=state["nodes"],
+            extra={"lower_bound": global_bound, "seed_hosts": seed.placement.hosts_used()},
+        )

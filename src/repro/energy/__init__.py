@@ -1,0 +1,24 @@
+"""Energy management and accounting.
+
+Paper Sections I and III: "In order to conserve energy, Snooze automatically
+transitions idle servers into a low-power mode (e.g. suspend)" and wakes them
+up "in case either not enough capacity is available to handle incoming VM
+placement decisions or overload situations on the LCs occur."
+
+* :class:`~repro.energy.power_manager.PowerStateManager` implements the
+  idle-time threshold, the suspend/wake-up transitions (with their latencies)
+  and the break-even guard.
+* :class:`~repro.energy.accounting.EnergyMeter` integrates per-node power over
+  simulated time (Joules), including transition energies and -- for experiment
+  E2 -- the energy charged to consolidation algorithm computation.
+"""
+
+from repro.energy.accounting import EnergyMeter, EnergyReport
+from repro.energy.power_manager import PowerManagerConfig, PowerStateManager
+
+__all__ = [
+    "EnergyMeter",
+    "EnergyReport",
+    "PowerStateManager",
+    "PowerManagerConfig",
+]

@@ -1,0 +1,171 @@
+"""Snooze client: submits VMs through Entry Points and records the outcome.
+
+The client is what the paper's command-line interface builds on: it discovers
+the hierarchy through the replicated Entry Points and submits VM requests,
+retrying through another Entry Point when one is unavailable.  Every
+submission produces a :class:`SubmissionRecord` with the timing information
+the scalability experiment (E3) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.vm import VirtualMachine
+from repro.hierarchy.config import HierarchyConfig
+from repro.metrics.recorder import EventLog
+from repro.network.rpc import RpcChannel
+from repro.network.transport import Network
+from repro.simulation.engine import Simulator
+
+
+@dataclass
+class SubmissionRecord:
+    """Outcome of one VM submission as observed by the client."""
+
+    vm: VirtualMachine
+    submitted_at: float
+    completed_at: Optional[float] = None
+    placed: bool = False
+    gm: Optional[str] = None
+    lc: Optional[str] = None
+    node_id: Optional[str] = None
+    reason: Optional[str] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission latency (client-observed), or None if still pending."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def pending(self) -> bool:
+        """True while the submission outcome has not come back yet."""
+        return self.completed_at is None
+
+
+class SnoozeClient:
+    """Client-side API: submit VMs and collect submission statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        network: Network,
+        entry_points: Sequence[str],
+        config: Optional[HierarchyConfig] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        if not entry_points:
+            raise ValueError("client needs at least one entry point")
+        self.name = name
+        self.sim = sim
+        self.network = network
+        self.config = config or HierarchyConfig()
+        self.entry_points = list(entry_points)
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.records: List[SubmissionRecord] = []
+        self._next_entry_point = 0
+        network.register(name, self._on_message)
+        self.rpc = RpcChannel(network, name)
+
+    def _on_message(self, message) -> None:
+        self.rpc.handle_message(message)
+
+    # ------------------------------------------------------------------ submit
+    def submit(
+        self,
+        vm: VirtualMachine,
+        on_complete: Optional[Callable[[SubmissionRecord], None]] = None,
+    ) -> SubmissionRecord:
+        """Submit one VM through the next Entry Point (round-robin over replicas)."""
+        vm.mark_submitted(self.sim.now)
+        record = SubmissionRecord(vm=vm, submitted_at=self.sim.now)
+        self.records.append(record)
+        self._try_entry_point(vm, record, attempts_left=len(self.entry_points), on_complete=on_complete)
+        return record
+
+    def submit_batch(
+        self,
+        vms: Sequence[VirtualMachine],
+        on_complete: Optional[Callable[[SubmissionRecord], None]] = None,
+    ) -> List[SubmissionRecord]:
+        """Submit several VMs at once (the CCGrid'12 submission-burst workload)."""
+        return [self.submit(vm, on_complete=on_complete) for vm in vms]
+
+    def _try_entry_point(
+        self,
+        vm: VirtualMachine,
+        record: SubmissionRecord,
+        attempts_left: int,
+        on_complete: Optional[Callable[[SubmissionRecord], None]],
+        tried: Optional[set] = None,
+    ) -> None:
+        tried = tried if tried is not None else set()
+        if attempts_left <= 0:
+            self._finish(record, {"placed": False, "reason": "all entry points unavailable"}, on_complete)
+            return
+        # Prefer an Entry Point this submission has not timed out on yet, so a
+        # crashed replica is not retried while a healthy one exists.
+        untried = [ep for ep in self.entry_points if ep not in tried]
+        pool = untried or self.entry_points
+        entry_point = pool[self._next_entry_point % len(pool)]
+        self._next_entry_point += 1
+        self.rpc.call(
+            entry_point,
+            "submit_vm",
+            kwargs={"vm": vm},
+            on_reply=lambda result: self._finish(record, result, on_complete),
+            on_error=lambda error: self._finish(record, {"placed": False, "reason": error}, on_complete),
+            on_timeout=lambda: self._try_entry_point(
+                vm, record, attempts_left - 1, on_complete, tried | {entry_point}
+            ),
+            timeout=self.config.placement_timeout + 4 * self.config.rpc_timeout,
+        )
+
+    def _finish(
+        self,
+        record: SubmissionRecord,
+        result,
+        on_complete: Optional[Callable[[SubmissionRecord], None]],
+    ) -> None:
+        record.completed_at = self.sim.now
+        if isinstance(result, dict):
+            record.placed = bool(result.get("placed"))
+            record.gm = result.get("gm")
+            record.lc = result.get("lc")
+            record.node_id = result.get("node_id")
+            record.reason = result.get("reason")
+        self.event_log.record(
+            self.sim.now,
+            "vm_submission_completed",
+            vm=record.vm.name,
+            placed=record.placed,
+            latency=record.latency,
+        )
+        if on_complete is not None:
+            on_complete(record)
+
+    # --------------------------------------------------------------- statistics
+    def placed_count(self) -> int:
+        """Number of submissions that ended with a successful placement."""
+        return sum(1 for record in self.records if record.placed)
+
+    def rejected_count(self) -> int:
+        """Number of completed submissions that were rejected."""
+        return sum(1 for record in self.records if not record.placed and not record.pending)
+
+    def pending_count(self) -> int:
+        """Number of submissions still in flight."""
+        return sum(1 for record in self.records if record.pending)
+
+    def latencies(self) -> List[float]:
+        """Latencies of all completed submissions."""
+        return [record.latency for record in self.records if record.latency is not None]
+
+    def mean_latency(self) -> float:
+        """Mean submission latency (0 if nothing completed yet)."""
+        values = self.latencies()
+        return float(sum(values) / len(values)) if values else 0.0

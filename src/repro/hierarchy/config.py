@@ -1,0 +1,111 @@
+"""Administrator configuration of a Snooze deployment.
+
+Everything the paper describes as "system administrator specified" lives here:
+heartbeat intervals, failure-detection timeouts, monitoring and summary
+periods, the scheduling policies enabled at each level, the reconfiguration
+interval and the energy-management settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.energy.power_manager import PowerManagerConfig
+from repro.network.transport import NetworkConfig
+from repro.scheduling.thresholds import UtilizationThresholds
+
+
+@dataclass
+class HierarchyConfig:
+    """All knobs of a Snooze deployment in one place."""
+
+    # ------------------------------------------------------------ heartbeats
+    #: Interval between Group Leader heartbeats (multicast to GMs, EPs, LCs).
+    gl_heartbeat_interval: float = 2.0
+    #: Interval between Group Manager heartbeats (to the GL and to its LCs).
+    gm_heartbeat_interval: float = 2.0
+    #: Interval between Local Controller heartbeats (to the assigned GM).
+    lc_heartbeat_interval: float = 2.0
+    #: Missing-heartbeat timeout after which a component is declared failed.
+    heartbeat_timeout: float = 8.0
+    #: Coordination (ZooKeeper) session timeout for Group Managers.
+    session_timeout: float = 10.0
+
+    # ------------------------------------------------------------ monitoring
+    #: LC monitoring interval (sampling VMs and reporting to the GM).
+    monitoring_interval: float = 10.0
+    #: GM summary interval (aggregated capacity report to the GL).
+    summary_interval: float = 10.0
+    #: Sliding window length (number of samples) for demand estimation.
+    estimation_window: int = 12
+    #: Demand estimator name: mean, max, ewma, percentile.
+    estimator: str = "ewma"
+
+    # ------------------------------------------------------------ scheduling
+    #: Group Leader dispatching policy: round-robin, least-loaded, first-fit.
+    dispatching_policy: str = "first-fit"
+    #: Group Manager placement policy: first-fit, best-fit, worst-fit, round-robin.
+    placement_policy: str = "first-fit"
+    #: Utilization thresholds for overload/underload detection.
+    thresholds: UtilizationThresholds = field(default_factory=UtilizationThresholds)
+    #: Enable overload/underload relocation (Section II.C event-based policies).
+    relocation_enabled: bool = True
+    #: Periodic reconfiguration (consolidation) interval in seconds; None disables it.
+    reconfiguration_interval: Optional[float] = None
+    #: Consolidation algorithm for reconfiguration: "aco", "ffd", "bfd".
+    reconfiguration_algorithm: str = "aco"
+    #: Cap on migrations per reconfiguration round (None = unlimited).
+    max_migrations_per_round: Optional[int] = None
+
+    # ---------------------------------------------------------------- energy
+    #: Energy management settings (idle threshold, power state, reserve hosts).
+    power_manager: PowerManagerConfig = field(default_factory=lambda: PowerManagerConfig(enabled=False))
+    #: Interval of the cluster-wide energy meter sampling.
+    energy_sample_interval: float = 60.0
+
+    # --------------------------------------------------------------- network
+    #: Simulated management-network characteristics.
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    # ----------------------------------------------------------------- sizing
+    #: Number of Entry Point replicas.
+    entry_points: int = 1
+    #: LC -> GM assignment policy at the GL: "round-robin" or "least-loaded".
+    assignment_policy: str = "round-robin"
+
+    # ------------------------------------------------------------------ misc
+    #: RPC timeout for commands (LC start/migrate, join, assignment).
+    rpc_timeout: float = 5.0
+    #: End-to-end timeout for a placement probe (GL -> GM).  Must be generous
+    #: enough to cover a host wake-up when energy management is enabled
+    #: (Section III: hosts are woken on demand for incoming placements).
+    placement_timeout: float = 90.0
+    #: Base seed for all random streams of the deployment.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "gl_heartbeat_interval",
+            "gm_heartbeat_interval",
+            "lc_heartbeat_interval",
+            "heartbeat_timeout",
+            "session_timeout",
+            "monitoring_interval",
+            "summary_interval",
+            "energy_sample_interval",
+            "rpc_timeout",
+            "placement_timeout",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.heartbeat_timeout <= max(
+            self.gl_heartbeat_interval, self.gm_heartbeat_interval, self.lc_heartbeat_interval
+        ):
+            raise ValueError("heartbeat_timeout must exceed every heartbeat interval")
+        if self.estimation_window <= 0:
+            raise ValueError("estimation_window must be positive")
+        if self.entry_points <= 0:
+            raise ValueError("entry_points must be positive")
+        if self.reconfiguration_interval is not None and self.reconfiguration_interval <= 0:
+            raise ValueError("reconfiguration_interval must be positive or None")

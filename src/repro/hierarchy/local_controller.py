@@ -1,0 +1,321 @@
+"""Local Controller: the per-node Snooze agent.
+
+Paper Section II.A: "each node is controlled by a so-called Local Controller
+(LC). ... LCs enforce VM and host management commands coming from the GM.
+Moreover, they detect local overload/underload anomaly situations and report
+them to the assigned GM."
+
+Responsibilities implemented here:
+
+* **Self-organization** (Section II.D): listen for Group Leader heartbeats,
+  ask the GL for a Group Manager assignment, join that GM and start
+  exchanging heartbeats with it; rejoin from scratch whenever the GM's
+  heartbeats stop.
+* **Monitoring** (Section II.B): sample hosted VMs periodically and send the
+  aggregated report to the GM.
+* **Anomaly detection** (Section II.C): raise overload / underload events
+  with a cool-down so a sustained condition does not flood the GM.
+* **Command enforcement**: start/terminate VMs, execute live migrations.
+* **Failure semantics** (Section II.E): when the LC crashes its VMs are
+  terminated; when it recovers it rejoins the hierarchy empty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.node import NodeState, PhysicalNode
+from repro.cluster.vm import VirtualMachine, VMState
+from repro.hierarchy.common import Component
+from repro.hierarchy.config import HierarchyConfig
+from repro.metrics.recorder import EventLog
+from repro.migration.model import MigrationExecutor
+from repro.monitoring.collector import HostMonitor
+from repro.monitoring.estimators import make_estimator
+from repro.network.message import Message, MessageType
+from repro.network.transport import Network
+from repro.simulation.engine import Simulator
+from repro.simulation.timers import Timeout
+
+#: Name of the shared node registry service (node_id -> PhysicalNode).
+NODE_REGISTRY_SERVICE = "node_registry"
+#: Name of the shared migration executor service.
+MIGRATION_SERVICE = "migration"
+#: Multicast group on which the Group Leader announces itself.
+GL_HEARTBEAT_GROUP = "gl-heartbeat"
+
+
+def gm_heartbeat_group(gm_name: str) -> str:
+    """Name of the per-Group-Manager heartbeat multicast group."""
+    return f"gm-heartbeat:{gm_name}"
+
+
+class LocalController(Component):
+    """The agent controlling one physical node."""
+
+    def __init__(
+        self,
+        name: str,
+        node: PhysicalNode,
+        sim: Simulator,
+        network: Network,
+        config: Optional[HierarchyConfig] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        super().__init__(name, sim, network, event_log)
+        self.node = node
+        self.config = config or HierarchyConfig()
+        self.monitor = HostMonitor(
+            node,
+            window=self.config.estimation_window,
+            estimator=make_estimator(self.config.estimator),
+        )
+        self.assigned_gm: Optional[str] = None
+        self.current_gl: Optional[str] = None
+        self._gm_timeout: Optional[Timeout] = None
+        self._joining = False
+        self._last_overload_report = -float("inf")
+        self._last_underload_report = -float("inf")
+        #: Seconds between repeated anomaly reports for a persisting condition.
+        self.anomaly_cooldown = 3 * self.config.monitoring_interval
+        self.rpc.register_operation("start_vm", self._op_start_vm)
+        self.rpc.register_operation("terminate_vm", self._op_terminate_vm)
+        self.rpc.register_operation("migrate_vm", self._op_migrate_vm)
+        self.rpc.register_operation("describe", self._op_describe)
+
+    # ---------------------------------------------------------------- startup
+    def on_start(self) -> None:
+        self.assigned_gm = None
+        self._joining = False
+        self.multicast.group(GL_HEARTBEAT_GROUP).subscribe(self.name)
+        self.add_timer(self.config.monitoring_interval, self._monitoring_tick)
+        self.add_timer(self.config.lc_heartbeat_interval, self._send_heartbeat)
+
+    def on_fail(self) -> None:
+        """A crashed LC loses its VMs (paper: 'in the event of a LC failure, VMs are also terminated')."""
+        self.node.state = NodeState.FAILED
+        for vm in self.node.evict_all(self.sim.now):
+            vm.mark_failed(self.sim.now)
+            self.log_event("vm_failed", vm=vm.name, reason="lc_failure")
+        self.multicast.group(GL_HEARTBEAT_GROUP).unsubscribe(self.name)
+        if self.assigned_gm is not None:
+            self.multicast.group(gm_heartbeat_group(self.assigned_gm)).unsubscribe(self.name)
+        self.assigned_gm = None
+
+    def recover(self) -> None:  # noqa: D102 - documented on Component
+        self.node.state = NodeState.ON
+        self.node.idle_since = self.sim.now
+        super().recover()
+
+    # ------------------------------------------------------------- membership
+    @property
+    def is_assigned(self) -> bool:
+        """True once the LC has joined a Group Manager."""
+        return self.assigned_gm is not None
+
+    def handle_message(self, message: Message) -> None:
+        if message.msg_type is MessageType.GL_HEARTBEAT:
+            self._on_gl_heartbeat(message)
+        elif message.msg_type is MessageType.GM_HEARTBEAT:
+            self._on_gm_heartbeat(message)
+
+    def _on_gl_heartbeat(self, message: Message) -> None:
+        self.current_gl = message.payload.get("gl") if message.payload else message.sender
+        if self.assigned_gm is None and not self._joining:
+            # Small grace period before asking for an assignment: a freshly
+            # elected Group Leader needs one heartbeat round to learn which
+            # other Group Managers exist, otherwise every LC would be assigned
+            # to the leader itself.
+            self._joining = True
+            self.sim.schedule(0.5 * self.config.lc_heartbeat_interval, self._request_assignment)
+
+    def _request_assignment(self) -> None:
+        """Ask the current GL for a Group Manager to join (Section II.D)."""
+        if not self.is_running or self.assigned_gm is not None or self.current_gl is None:
+            self._joining = False
+            return
+        self._joining = True
+        self.rpc.call(
+            self.current_gl,
+            "assign_lc",
+            kwargs={"lc_name": self.name, "capacity": self.node.capacity.values.tolist()},
+            on_reply=self._on_assignment,
+            on_error=lambda _err: self._join_failed(),
+            on_timeout=self._join_failed,
+            timeout=self.config.rpc_timeout,
+        )
+
+    def _on_assignment(self, result) -> None:
+        gm_name = result.get("gm") if isinstance(result, dict) else None
+        if gm_name is None:
+            self._join_failed()
+            return
+        self.rpc.call(
+            gm_name,
+            "join_lc",
+            kwargs={"lc_name": self.name, "node_id": self.node.node_id},
+            on_reply=lambda _ack, gm=gm_name: self._joined(gm),
+            on_error=lambda _err: self._join_failed(),
+            on_timeout=self._join_failed,
+            timeout=self.config.rpc_timeout,
+        )
+
+    def _joined(self, gm_name: str) -> None:
+        self._joining = False
+        self.assigned_gm = gm_name
+        self.multicast.group(gm_heartbeat_group(gm_name)).subscribe(self.name)
+        if self._gm_timeout is not None:
+            self._gm_timeout.cancel()
+        self._gm_timeout = self.add_timeout(self.config.heartbeat_timeout, self._gm_lost)
+        self.log_event("lc_joined", gm=gm_name)
+
+    def _join_failed(self) -> None:
+        self._joining = False
+
+    def _gm_lost(self) -> None:
+        """The assigned GM's heartbeats stopped: rejoin the hierarchy (Section II.E)."""
+        if self.assigned_gm is not None:
+            self.log_event("gm_lost", gm=self.assigned_gm)
+            self.multicast.group(gm_heartbeat_group(self.assigned_gm)).unsubscribe(self.name)
+        self.assigned_gm = None
+        if self.current_gl is not None and not self._joining:
+            self._joining = True
+            self.sim.schedule(0.5 * self.config.lc_heartbeat_interval, self._request_assignment)
+
+    def _on_gm_heartbeat(self, message: Message) -> None:
+        if self.assigned_gm is not None and message.sender == self.assigned_gm:
+            if self._gm_timeout is not None:
+                self._gm_timeout.restart()
+
+    # ------------------------------------------------------------- heartbeats
+    def _send_heartbeat(self) -> None:
+        if self.assigned_gm is None:
+            return
+        self.network.send(
+            Message(
+                msg_type=MessageType.LC_HEARTBEAT,
+                sender=self.name,
+                recipient=self.assigned_gm,
+                payload={"node_id": self.node.node_id},
+            ),
+            size_bytes=128,
+        )
+
+    # ------------------------------------------------------------- monitoring
+    def _monitoring_tick(self) -> None:
+        """Sample VMs, terminate the ones whose runtime elapsed, report to the GM."""
+        self._reap_finished_vms()
+        report = self.monitor.report(self.sim.now)
+        if self.assigned_gm is not None:
+            self.network.send(
+                Message(
+                    msg_type=MessageType.LC_MONITORING,
+                    sender=self.name,
+                    recipient=self.assigned_gm,
+                    payload=report,
+                ),
+                size_bytes=1024,
+            )
+        self._detect_anomalies(report)
+
+    def _reap_finished_vms(self) -> None:
+        for vm in self.node.vms:
+            if (
+                vm.runtime is not None
+                and vm.start_time is not None
+                and self.sim.now - vm.start_time >= vm.runtime
+                and vm.state is VMState.RUNNING
+            ):
+                self.node.remove_vm(vm, self.sim.now)
+                vm.mark_finished(self.sim.now)
+                self.log_event("vm_finished", vm=vm.name)
+
+    def _detect_anomalies(self, report: dict) -> None:
+        if self.assigned_gm is None:
+            return
+        utilization = report["utilization"]
+        thresholds = self.config.thresholds
+        now = self.sim.now
+        if thresholds.is_overloaded(utilization) and now - self._last_overload_report >= self.anomaly_cooldown:
+            self._last_overload_report = now
+            self.network.send(
+                Message(
+                    msg_type=MessageType.OVERLOAD_EVENT,
+                    sender=self.name,
+                    recipient=self.assigned_gm,
+                    payload={"node_id": self.node.node_id, "utilization": utilization},
+                )
+            )
+            self.log_event("overload_detected", utilization=utilization)
+        elif (
+            self.node.vm_count > 0
+            and thresholds.is_underloaded(utilization)
+            and now - self._last_underload_report >= self.anomaly_cooldown
+        ):
+            self._last_underload_report = now
+            self.network.send(
+                Message(
+                    msg_type=MessageType.UNDERLOAD_EVENT,
+                    sender=self.name,
+                    recipient=self.assigned_gm,
+                    payload={"node_id": self.node.node_id, "utilization": utilization},
+                )
+            )
+            self.log_event("underload_detected", utilization=utilization)
+
+    # ----------------------------------------------------------- RPC commands
+    def _op_start_vm(self, vm: VirtualMachine) -> dict:
+        """Enforce a VM start command from the GM."""
+        if self.node.state is not NodeState.ON or not self.node.fits(vm):
+            return {"accepted": False, "reason": "insufficient capacity"}
+        self.node.place_vm(vm, now=self.sim.now)
+        self.monitor.track_vm(vm)
+        self.log_event("vm_started", vm=vm.name)
+        return {"accepted": True, "node_id": self.node.node_id}
+
+    def _op_terminate_vm(self, vm_id: int) -> dict:
+        """Terminate a hosted VM by id."""
+        for vm in self.node.vms:
+            if vm.vm_id == vm_id:
+                self.node.remove_vm(vm, self.sim.now)
+                vm.mark_finished(self.sim.now)
+                self.monitor.untrack_vm(vm)
+                self.log_event("vm_terminated", vm=vm.name)
+                return {"terminated": True}
+        return {"terminated": False, "reason": "vm not found"}
+
+    def _op_migrate_vm(self, vm_id: int, destination_node_id: str) -> dict:
+        """Live-migrate a hosted VM to another node (GM-initiated)."""
+        vm = next((candidate for candidate in self.node.vms if candidate.vm_id == vm_id), None)
+        if vm is None:
+            return {"started": False, "reason": "vm not found"}
+        registry: Dict[str, PhysicalNode] = self.sim.get_service(NODE_REGISTRY_SERVICE)
+        destination = registry.get(destination_node_id)
+        if destination is None:
+            return {"started": False, "reason": "unknown destination"}
+        executor: MigrationExecutor = self.sim.get_service(MIGRATION_SERVICE)
+        started = executor.migrate(
+            vm,
+            self.node,
+            destination,
+            on_complete=lambda migrated: self.log_event(
+                "migration_completed", vm=migrated.name, destination=destination_node_id
+            ),
+            on_failed=lambda failed, reason: self.log_event(
+                "migration_failed", vm=failed.name, reason=reason
+            ),
+        )
+        if started:
+            self.monitor.untrack_vm(vm)
+        return {"started": started}
+
+    def _op_describe(self) -> dict:
+        """Diagnostic snapshot used by the CLI's hierarchy visualization."""
+        return {
+            "name": self.name,
+            "node_id": self.node.node_id,
+            "state": self.node.state.value,
+            "vm_count": self.node.vm_count,
+            "utilization": self.node.utilization(),
+            "assigned_gm": self.assigned_gm,
+        }

@@ -1,0 +1,20 @@
+"""Metrics: event logs, time-series recording and report tables.
+
+The benchmark harness needs the same few ingredients for every experiment:
+record scalar series over simulated time (active hosts, cluster power,
+application throughput), log discrete events (failures, elections,
+migrations), and render small comparison tables that mirror the rows the
+paper reports.
+"""
+
+from repro.metrics.recorder import EventLog, EventRecord, TimeSeries, TimeSeriesRecorder
+from repro.metrics.report import ComparisonTable, format_table
+
+__all__ = [
+    "EventLog",
+    "EventRecord",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+    "ComparisonTable",
+    "format_table",
+]

@@ -1,0 +1,14 @@
+"""Live migration model.
+
+Snooze "ships with integrated live migration support" (Section IV) and both
+relocation and reconfiguration rely on it.  The reproduction models the cost
+of a pre-copy live migration -- duration driven by VM memory size, dirtying
+rate and the network bandwidth between the two hosts -- and executes it on the
+simulator: the VM occupies *both* hosts for the migration duration (memory is
+reserved at the destination while still running at the source), then switches
+over after a short downtime.
+"""
+
+from repro.migration.model import MigrationCostModel, MigrationExecutor, MigrationStats
+
+__all__ = ["MigrationCostModel", "MigrationExecutor", "MigrationStats"]

@@ -1,0 +1,40 @@
+"""Resource monitoring and demand estimation.
+
+Paper Section II.B: "Monitoring is mandatory to take proper scheduling
+decisions and is performed at all layers of the system."  Concretely:
+
+* Local Controllers sample the utilization of their VMs and periodically send
+  the samples to their Group Manager (:class:`~repro.monitoring.collector.VMMonitor`).
+* Group Managers run resource-demand **estimators** over the received history
+  (:mod:`repro.monitoring.estimators`: mean, max, exponential moving average,
+  percentile) and use the estimates for scheduling.
+* Group Managers periodically push an aggregated **summary** (used and total
+  capacity) to the Group Leader
+  (:class:`~repro.monitoring.summary.GroupManagerSummary`), which is all the
+  GL knows when dispatching VM submissions.
+"""
+
+from repro.monitoring.collector import MonitoringSample, VMMonitor, HostMonitor
+from repro.monitoring.estimators import (
+    DemandEstimator,
+    EwmaEstimator,
+    MaxEstimator,
+    MeanEstimator,
+    PercentileEstimator,
+    make_estimator,
+)
+from repro.monitoring.summary import GroupManagerSummary, aggregate_summaries
+
+__all__ = [
+    "MonitoringSample",
+    "VMMonitor",
+    "HostMonitor",
+    "DemandEstimator",
+    "MeanEstimator",
+    "MaxEstimator",
+    "EwmaEstimator",
+    "PercentileEstimator",
+    "make_estimator",
+    "GroupManagerSummary",
+    "aggregate_summaries",
+]

@@ -1,0 +1,107 @@
+"""Resource-demand estimators.
+
+A Group Manager receives a history of utilization samples per VM and must
+produce a single demand vector to schedule on ("Resource (i.e. CPU, memory and
+network utilization) demand estimation", paper Section II.A).  The estimator
+choice trades packing density against overload risk:
+
+* :class:`MaxEstimator` is conservative (no overload from estimation error,
+  poorest packing),
+* :class:`MeanEstimator` is aggressive,
+* :class:`EwmaEstimator` tracks recent behaviour (the default, matching the
+  sliding estimation window of the Snooze implementation),
+* :class:`PercentileEstimator` gives an explicit knob (e.g. p95).
+
+All estimators are vectorized: they consume an ``(n_samples, d)`` array and
+return a ``(d,)`` vector.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class DemandEstimator(abc.ABC):
+    """Base class mapping a sample history to a demand estimate."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def estimate(self, samples: np.ndarray) -> np.ndarray:
+        """Reduce ``(n_samples, d)`` utilization samples to a ``(d,)`` estimate."""
+
+    def _validate(self, samples: np.ndarray) -> np.ndarray:
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim == 1:
+            samples = samples.reshape(1, -1)
+        if samples.ndim != 2 or samples.shape[0] == 0:
+            raise ValueError("samples must be a non-empty (n, d) array")
+        return samples
+
+
+class MeanEstimator(DemandEstimator):
+    """Arithmetic mean of the sample window."""
+
+    name = "mean"
+
+    def estimate(self, samples: np.ndarray) -> np.ndarray:
+        return self._validate(samples).mean(axis=0)
+
+
+class MaxEstimator(DemandEstimator):
+    """Per-dimension maximum -- the most conservative estimate."""
+
+    name = "max"
+
+    def estimate(self, samples: np.ndarray) -> np.ndarray:
+        return self._validate(samples).max(axis=0)
+
+
+class EwmaEstimator(DemandEstimator):
+    """Exponentially weighted moving average over the window (newest weighs most)."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def estimate(self, samples: np.ndarray) -> np.ndarray:
+        samples = self._validate(samples)
+        estimate = samples[0].astype(float).copy()
+        for row in samples[1:]:
+            estimate = self.alpha * row + (1.0 - self.alpha) * estimate
+        return estimate
+
+
+class PercentileEstimator(DemandEstimator):
+    """Per-dimension percentile of the window (p95 by default)."""
+
+    name = "percentile"
+
+    def __init__(self, percentile: float = 95.0) -> None:
+        if not (0.0 < percentile <= 100.0):
+            raise ValueError("percentile must be in (0, 100]")
+        self.percentile = float(percentile)
+
+    def estimate(self, samples: np.ndarray) -> np.ndarray:
+        return np.percentile(self._validate(samples), self.percentile, axis=0)
+
+
+def make_estimator(name: str, **kwargs) -> DemandEstimator:
+    """Factory keyed by estimator name (used by configuration and the CLI)."""
+    registry = {
+        "mean": MeanEstimator,
+        "max": MaxEstimator,
+        "ewma": EwmaEstimator,
+        "percentile": PercentileEstimator,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown estimator {name!r}; choose from {sorted(registry)}") from exc
+    return cls(**kwargs)

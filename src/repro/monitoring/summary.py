@@ -1,0 +1,149 @@
+"""Group Manager resource summaries.
+
+Paper Section II.B: "each GM periodically sends aggregated resource monitoring
+information to the GL. This information includes the used and total capacity
+of the GM".  Section II.C stresses that this summary is deliberately *not*
+sufficient for exact placement (the free capacity may be fragmented across
+Local Controllers), which is why the Group Leader only produces a candidate
+list and the Group Managers do the real placement.  The summary therefore
+carries exactly: used, reserved and total capacity, LC count and the largest
+single free slot (so the GL can cheaply rule out GMs that obviously cannot
+host a VM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
+
+
+@dataclass
+class GroupManagerSummary:
+    """Aggregated capacity view of one Group Manager, as sent to the Group Leader."""
+
+    gm_id: str
+    timestamp: float
+    total_capacity: ResourceVector
+    reserved: ResourceVector
+    used: ResourceVector
+    local_controller_count: int
+    active_vm_count: int
+    #: The largest per-dimension free reservation on any single LC: an upper
+    #: bound on the biggest VM this GM could host without migrations.
+    largest_free_slot: ResourceVector
+
+    # --------------------------------------------------------------- derived
+    def free_capacity(self) -> ResourceVector:
+        """Total unreserved capacity across the GM's LCs (possibly fragmented)."""
+        return (self.total_capacity - self.reserved).clamp_nonnegative()
+
+    def utilization(self) -> float:
+        """Scalar reserved/total ratio averaged over dimensions (GL load balancing key)."""
+        total = self.total_capacity.values
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(total > 0, self.reserved.values / total, 0.0)
+        return float(ratios.mean()) if ratios.size else 0.0
+
+    def could_host(self, demand: ResourceVector) -> bool:
+        """Optimistic admission test used by GL dispatching (may still fail at the GM)."""
+        return demand.fits_within(self.free_capacity()) and demand.fits_within(
+            self.largest_free_slot
+        )
+
+    def to_payload(self) -> dict:
+        """Serialize for transmission over the simulated network."""
+        return {
+            "gm_id": self.gm_id,
+            "timestamp": self.timestamp,
+            "total_capacity": self.total_capacity.values.tolist(),
+            "reserved": self.reserved.values.tolist(),
+            "used": self.used.values.tolist(),
+            "local_controller_count": self.local_controller_count,
+            "active_vm_count": self.active_vm_count,
+            "largest_free_slot": self.largest_free_slot.values.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, dimensions: Sequence[str] = DEFAULT_DIMENSIONS) -> "GroupManagerSummary":
+        """Deserialize a payload produced by :meth:`to_payload`."""
+        return cls(
+            gm_id=payload["gm_id"],
+            timestamp=float(payload["timestamp"]),
+            total_capacity=ResourceVector(payload["total_capacity"], dimensions),
+            reserved=ResourceVector(payload["reserved"], dimensions),
+            used=ResourceVector(payload["used"], dimensions),
+            local_controller_count=int(payload["local_controller_count"]),
+            active_vm_count=int(payload["active_vm_count"]),
+            largest_free_slot=ResourceVector(payload["largest_free_slot"], dimensions),
+        )
+
+    @classmethod
+    def from_reports(
+        cls,
+        gm_id: str,
+        timestamp: float,
+        lc_reports: Iterable[dict],
+        dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
+    ) -> "GroupManagerSummary":
+        """Aggregate the latest LC monitoring reports into a GM summary."""
+        total = np.zeros(len(dimensions))
+        reserved = np.zeros(len(dimensions))
+        used = np.zeros(len(dimensions))
+        largest_slot = np.zeros(len(dimensions))
+        lc_count = 0
+        vm_count = 0
+        for report in lc_reports:
+            lc_count += 1
+            vm_count += int(report.get("vm_count", 0))
+            capacity = np.asarray(report["capacity"], dtype=float)
+            lc_reserved = np.asarray(report["reserved"], dtype=float)
+            lc_used = np.asarray(report["used"], dtype=float)
+            total += capacity
+            reserved += lc_reserved
+            used += lc_used
+            free = np.maximum(capacity - lc_reserved, 0.0)
+            # "largest" judged by the CPU dimension first, then memory: a simple
+            # componentwise max would overestimate (mixing slots of different LCs).
+            if tuple(free) > tuple(largest_slot):
+                largest_slot = free
+        return cls(
+            gm_id=gm_id,
+            timestamp=timestamp,
+            total_capacity=ResourceVector(total, dimensions),
+            reserved=ResourceVector(reserved, dimensions),
+            used=ResourceVector(used, dimensions),
+            local_controller_count=lc_count,
+            active_vm_count=vm_count,
+            largest_free_slot=ResourceVector(largest_slot, dimensions),
+        )
+
+
+def aggregate_summaries(summaries: Iterable[GroupManagerSummary]) -> Optional[dict]:
+    """Cluster-wide totals across GM summaries (used by reports and the CLI)."""
+    summaries = list(summaries)
+    if not summaries:
+        return None
+    dimensions = summaries[0].total_capacity.dimensions
+    total = np.zeros(len(dimensions))
+    reserved = np.zeros(len(dimensions))
+    used = np.zeros(len(dimensions))
+    lcs = 0
+    vms = 0
+    for summary in summaries:
+        total += summary.total_capacity.values
+        reserved += summary.reserved.values
+        used += summary.used.values
+        lcs += summary.local_controller_count
+        vms += summary.active_vm_count
+    return {
+        "group_managers": len(summaries),
+        "local_controllers": lcs,
+        "active_vms": vms,
+        "total_capacity": ResourceVector(total, dimensions),
+        "reserved": ResourceVector(reserved, dimensions),
+        "used": ResourceVector(used, dimensions),
+    }

@@ -1,0 +1,33 @@
+"""Simulated messaging substrate.
+
+Snooze components are distributed processes talking over a real network
+(Java RESTful services plus multicast heartbeats).  In the reproduction they
+talk over this simulated substrate instead:
+
+* :class:`~repro.network.message.Message` -- typed, addressed payloads.
+* :class:`~repro.network.transport.Network` -- unicast delivery with
+  configurable latency, jitter and loss; per-endpoint registration; failure
+  injection by disconnecting endpoints.
+* :class:`~repro.network.multicast.MulticastGroup` -- the heartbeat channels
+  of the paper ("multicast-based heartbeat protocols ... at all levels").
+* :class:`~repro.network.rpc.RpcChannel` -- request/response on top of the
+  transport, used for VM submission, placement requests and commands.
+"""
+
+from repro.network.message import Message, MessageType
+from repro.network.transport import Endpoint, Network, NetworkConfig
+from repro.network.multicast import MulticastGroup, MulticastRegistry
+from repro.network.rpc import RpcChannel, RpcError, RpcTimeout
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "Endpoint",
+    "Network",
+    "NetworkConfig",
+    "MulticastGroup",
+    "MulticastRegistry",
+    "RpcChannel",
+    "RpcError",
+    "RpcTimeout",
+]

@@ -1,0 +1,94 @@
+"""Multicast groups for heartbeat dissemination.
+
+The paper: "To support failure detection and self-organization, multicast-
+based heartbeat protocols are implemented at all levels of the hierarchy."
+A :class:`MulticastGroup` fans one published message out to every current
+subscriber through the unicast transport, so per-subscriber latency, loss and
+disconnection still apply (a crashed listener simply stops receiving).
+
+Snooze uses two well-known groups: the Group Leader heartbeat group (joined by
+Group Managers, Entry Points and unassigned Local Controllers waiting to
+discover the leader) and one heartbeat group per Group Manager (joined by its
+Local Controllers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.network.message import Message, MessageType
+from repro.network.transport import Network
+
+
+class MulticastGroup:
+    """A named publish/subscribe channel built on the unicast transport."""
+
+    def __init__(self, network: Network, group_name: str) -> None:
+        self.network = network
+        self.group_name = group_name
+        self._subscribers: List[str] = []
+        #: Number of publish calls (for overhead accounting).
+        self.publish_count = 0
+
+    # ---------------------------------------------------------- subscription
+    def subscribe(self, endpoint_name: str) -> None:
+        """Add an endpoint to the group (idempotent)."""
+        if endpoint_name not in self._subscribers:
+            self._subscribers.append(endpoint_name)
+
+    def unsubscribe(self, endpoint_name: str) -> None:
+        """Remove an endpoint from the group (idempotent)."""
+        if endpoint_name in self._subscribers:
+            self._subscribers.remove(endpoint_name)
+
+    @property
+    def subscribers(self) -> List[str]:
+        """Snapshot of current subscriber endpoint names."""
+        return list(self._subscribers)
+
+    def __contains__(self, endpoint_name: str) -> bool:
+        return endpoint_name in self._subscribers
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    # ---------------------------------------------------------------- publish
+    def publish(self, sender: str, msg_type: MessageType, payload=None, size_bytes: int = 256) -> int:
+        """Send ``payload`` to every subscriber except the sender; returns fan-out size."""
+        self.publish_count += 1
+        fanout = 0
+        for subscriber in list(self._subscribers):
+            if subscriber == sender:
+                continue
+            message = Message(
+                msg_type=msg_type, sender=sender, recipient=subscriber, payload=payload
+            )
+            self.network.send(message, size_bytes=size_bytes)
+            fanout += 1
+        return fanout
+
+    def __repr__(self) -> str:
+        return f"<MulticastGroup {self.group_name} subscribers={len(self._subscribers)}>"
+
+
+class MulticastRegistry:
+    """Registry of named multicast groups shared by all components."""
+
+    SERVICE_NAME = "multicast"
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._groups: Dict[str, MulticastGroup] = {}
+        sim = network.sim
+        if not sim.has_service(self.SERVICE_NAME):
+            sim.register_service(self.SERVICE_NAME, self)
+
+    def group(self, name: str) -> MulticastGroup:
+        """Return the group ``name``, creating it on first use."""
+        if name not in self._groups:
+            self._groups[name] = MulticastGroup(self.network, name)
+        return self._groups[name]
+
+    def groups(self) -> Dict[str, MulticastGroup]:
+        """All groups created so far."""
+        return dict(self._groups)

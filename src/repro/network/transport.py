@@ -1,0 +1,167 @@
+"""Simulated unicast transport with latency, jitter, loss and partitions.
+
+Components register an :class:`Endpoint` (a named message handler).  Sending
+schedules delivery after a sampled latency; disconnected endpoints silently
+drop traffic, which is exactly how the failure-injection experiments model a
+crashed Group Leader / Group Manager / Local Controller (the paper's Section
+II.E failure scenarios are all "heartbeats are lost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.network.message import Message
+from repro.simulation.engine import Simulator
+
+
+@dataclass
+class NetworkConfig:
+    """Latency/loss characteristics of the simulated management network."""
+
+    #: Mean one-way latency in seconds (LAN-scale by default).
+    base_latency: float = 0.001
+    #: Uniform jitter added on top of the base latency (seconds).
+    jitter: float = 0.0005
+    #: Probability that a message is silently dropped.
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise ValueError("loss_probability must be in [0, 1)")
+
+
+class Endpoint:
+    """A registered network participant: a name plus a message handler."""
+
+    def __init__(self, name: str, handler: Callable[[Message], None]) -> None:
+        self.name = name
+        self.handler = handler
+        self.connected = True
+        #: Counters for the overhead experiments (messages in/out).
+        self.sent_count = 0
+        self.received_count = 0
+
+    def deliver(self, message: Message) -> None:
+        """Invoke the handler if the endpoint is still connected."""
+        if not self.connected:
+            return
+        self.received_count += 1
+        self.handler(message)
+
+    def __repr__(self) -> str:
+        state = "up" if self.connected else "down"
+        return f"<Endpoint {self.name} {state}>"
+
+
+class Network:
+    """The shared simulated network all hierarchy components attach to."""
+
+    SERVICE_NAME = "network"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self._endpoints: Dict[str, Endpoint] = {}
+        #: Aggregate counters used by the management-overhead experiment (E3/E8).
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        if not sim.has_service(self.SERVICE_NAME):
+            sim.register_service(self.SERVICE_NAME, self)
+
+    # -------------------------------------------------------------- endpoints
+    def register(self, name: str, handler: Callable[[Message], None]) -> Endpoint:
+        """Attach a named endpoint; re-registering a name replaces the handler.
+
+        Re-registration is deliberate: a rejoining component (e.g. a Group
+        Manager restarting after a failure) reuses its address.
+        """
+        endpoint = Endpoint(name, handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        """Remove an endpoint entirely (component decommissioned)."""
+        self._endpoints.pop(name, None)
+
+    def endpoint(self, name: str) -> Optional[Endpoint]:
+        """Look up an endpoint by name."""
+        return self._endpoints.get(name)
+
+    def is_connected(self, name: str) -> bool:
+        """True if the endpoint exists and is not disconnected."""
+        endpoint = self._endpoints.get(name)
+        return endpoint is not None and endpoint.connected
+
+    # -------------------------------------------------------- failure control
+    def disconnect(self, name: str) -> None:
+        """Cut an endpoint off the network (crash injection): traffic to/from it is dropped."""
+        endpoint = self._endpoints.get(name)
+        if endpoint is not None:
+            endpoint.connected = False
+
+    def reconnect(self, name: str) -> None:
+        """Restore a previously disconnected endpoint."""
+        endpoint = self._endpoints.get(name)
+        if endpoint is not None:
+            endpoint.connected = True
+
+    # ------------------------------------------------------------------ send
+    def send(self, message: Message, size_bytes: int = 512) -> bool:
+        """Send a unicast message; returns False if it was dropped immediately.
+
+        Immediate drops happen when the sender is disconnected or the message
+        is lost; an existing-but-disconnected *recipient* is only discovered at
+        delivery time (the sender cannot know), matching real UDP/TCP-on-LAN
+        behaviour closely enough for the protocols involved.
+        """
+        self.messages_sent += 1
+        self.bytes_sent += int(size_bytes)
+        sender = self._endpoints.get(message.sender)
+        if sender is not None:
+            sender.sent_count += 1
+            if not sender.connected:
+                self.messages_dropped += 1
+                return False
+        if self.config.loss_probability > 0 and self.rng.random() < self.config.loss_probability:
+            self.messages_dropped += 1
+            return False
+        message.sent_at = self.sim.now
+        latency = self.config.base_latency
+        if self.config.jitter > 0:
+            latency += float(self.rng.uniform(0.0, self.config.jitter))
+        self.sim.schedule(latency, self._deliver, message, priority=Simulator.PRIORITY_HIGH)
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        recipient = self._endpoints.get(message.recipient)
+        if recipient is None or not recipient.connected:
+            self.messages_dropped += 1
+            return
+        message.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        recipient.deliver(message)
+
+    # ---------------------------------------------------------------- metrics
+    def stats(self) -> dict:
+        """Counters snapshot for reports."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "endpoints": len(self._endpoints),
+        }

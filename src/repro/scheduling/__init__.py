@@ -1,0 +1,64 @@
+"""Two-level VM scheduling policies.
+
+Paper Section II.C: "Scheduling decisions are taken at two-levels: GL and GM."
+
+* **Group Leader dispatching** (:mod:`repro.scheduling.dispatching`): pick an
+  ordered candidate list of Group Managers from their summaries (round-robin,
+  least-loaded, first-fit); the GL then linearly probes the candidates with
+  placement requests.
+* **Group Manager placement** (:mod:`repro.scheduling.placement`): place an
+  incoming VM on one of the GM's Local Controllers (first-fit, best-fit,
+  worst-fit, round-robin).
+* **Relocation** (:mod:`repro.scheduling.relocation`): react to overload /
+  underload events from LCs by moving VMs away from hot / lightly loaded
+  hosts.
+* **Reconfiguration** (:mod:`repro.scheduling.reconfiguration`): periodically
+  re-pack moderately loaded hosts with a consolidation algorithm from
+  :mod:`repro.core` and emit the resulting migration plan.
+* **Thresholds** (:mod:`repro.scheduling.thresholds`): the utilization bands
+  defining overload / underload / moderate load.
+"""
+
+from repro.scheduling.thresholds import UtilizationThresholds, LoadBand
+from repro.scheduling.dispatching import (
+    DispatchingPolicy,
+    FirstFitDispatching,
+    LeastLoadedDispatching,
+    RoundRobinDispatching,
+    make_dispatching_policy,
+)
+from repro.scheduling.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    WorstFitPlacement,
+    make_placement_policy,
+)
+from repro.scheduling.relocation import (
+    OverloadRelocationPolicy,
+    RelocationDecision,
+    UnderloadRelocationPolicy,
+)
+from repro.scheduling.reconfiguration import ReconfigurationPlan, ReconfigurationPolicy
+
+__all__ = [
+    "UtilizationThresholds",
+    "LoadBand",
+    "DispatchingPolicy",
+    "RoundRobinDispatching",
+    "LeastLoadedDispatching",
+    "FirstFitDispatching",
+    "make_dispatching_policy",
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "BestFitPlacement",
+    "WorstFitPlacement",
+    "RoundRobinPlacement",
+    "make_placement_policy",
+    "RelocationDecision",
+    "OverloadRelocationPolicy",
+    "UnderloadRelocationPolicy",
+    "ReconfigurationPolicy",
+    "ReconfigurationPlan",
+]

@@ -1,0 +1,272 @@
+"""The discrete-event simulation engine.
+
+The engine is deliberately small and deterministic:
+
+* Events are ordered by ``(time, priority, sequence)``.  The monotonically
+  increasing sequence number guarantees FIFO ordering among events scheduled
+  for the same instant with the same priority, which keeps runs reproducible
+  regardless of heap tie-breaking.
+* Callbacks run synchronously; anything they schedule is processed in the
+  same :meth:`Simulator.run` loop.
+* Cancelling an event is O(1): the event is flagged and skipped when popped
+  (the standard "lazy deletion" technique for binary-heap schedulers).
+
+The engine knows nothing about VMs or clouds -- higher layers (network,
+hierarchy, energy accounting) are built on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the simulator (e.g. scheduling in the past)."""
+
+
+class EventCancelled(RuntimeError):
+    """Raised when waiting on an event that has been cancelled."""
+
+
+@dataclass(order=False)
+class Event:
+    """A callback scheduled at a point in simulated time.
+
+    Events support *listeners*: other parties (typically
+    :class:`~repro.simulation.process.Process` instances) may register a
+    callable invoked when the event fires or is cancelled.  This is what lets
+    processes ``yield`` an event and be resumed when it triggers.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Optional[Callable[..., Any]]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    cancelled: bool = False
+    fired: bool = False
+    #: Value produced by the callback (or set explicitly via :meth:`succeed`).
+    value: Any = None
+    _listeners: list = field(default_factory=list)
+
+    def cancel(self) -> None:
+        """Cancel the event.  A cancelled event never runs its callback.
+
+        Listeners are notified with ``ok=False`` so that waiting processes
+        receive an :class:`EventCancelled` error instead of hanging forever.
+        """
+        if self.fired:
+            return
+        self.cancelled = True
+        listeners, self._listeners = self._listeners, []
+        for listener in listeners:
+            listener(self, False)
+
+    def add_listener(self, listener: Callable[["Event", bool], None]) -> None:
+        """Register ``listener(event, ok)`` called on fire (ok=True) or cancel (ok=False)."""
+        if self.fired:
+            listener(self, True)
+        elif self.cancelled:
+            listener(self, False)
+        else:
+            self._listeners.append(listener)
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not (self.fired or self.cancelled)
+
+    # Internal -------------------------------------------------------------
+    def _fire(self) -> None:
+        self.fired = True
+        if self.callback is not None:
+            self.value = self.callback(*self.args, **self.kwargs)
+        listeners, self._listeners = self._listeners, []
+        for listener in listeners:
+            listener(self, True)
+
+    def __lt__(self, other: "Event") -> bool:  # heap ordering
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+
+class Simulator:
+    """The event loop: a priority queue of :class:`Event` plus a clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "hello at t=5")
+        sim.run(until=10.0)
+
+    The simulator also carries a registry of named *services* so that loosely
+    coupled subsystems (network, energy accounting, metrics) can find each
+    other without global state.
+    """
+
+    #: Default priority for ordinary events.
+    PRIORITY_NORMAL = 0
+    #: Priority used by the network layer so message deliveries at time t
+    #: precede timers scheduled for the same instant.
+    PRIORITY_HIGH = -10
+    #: Priority for bookkeeping that should run after everything else at t.
+    PRIORITY_LOW = 10
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._services: dict[str, Any] = {}
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention throughout the library)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (useful for overhead metrics)."""
+        return self._processed
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Optional[Callable[..., Any]] = None,
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with negative/NaN delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Optional[Callable[..., Any]] = None,
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past (t={time} < now={self._now})"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def event(self) -> Event:
+        """Create an unscheduled event that fires only when :meth:`trigger` is called.
+
+        Used as a one-shot signal / future: processes can wait on it and any
+        code can later complete it with a value.
+        """
+        return Event(
+            time=math.inf,
+            priority=self.PRIORITY_NORMAL,
+            seq=next(self._seq),
+            callback=None,
+        )
+
+    def trigger(self, event: Event, value: Any = None) -> None:
+        """Complete an unscheduled event *now*, delivering ``value`` to waiters."""
+        if not event.pending:
+            raise SimulationError("event already fired or cancelled")
+        event.time = self._now
+        event.value = value
+        event.fired = True
+        listeners, event._listeners = event._listeners, []
+        for listener in listeners:
+            listener(event, True)
+
+    # ---------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` processed.
+
+        Returns the simulation time at which the run stopped.  When ``until``
+        is given, the clock is advanced to exactly ``until`` even if the last
+        event fired earlier (so that energy integration over a fixed horizon
+        is exact).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        self._running = True
+        processed_this_run = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event._fire()
+                self._processed += 1
+                processed_this_run += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return self._now
+
+    def step(self) -> Optional[Event]:
+        """Execute the single next pending event; return it (or None if queue empty)."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event._fire()
+            self._processed += 1
+            return event
+        return None
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none are scheduled."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else math.inf
+
+    def pending_events(self) -> Iterator[Event]:
+        """Iterate over not-yet-cancelled queued events (diagnostics only)."""
+        return (event for event in self._queue if not event.cancelled)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.pending_events())
+
+    # --------------------------------------------------------------- services
+    def register_service(self, name: str, service: Any) -> None:
+        """Expose a shared subsystem (network, energy meter, metrics) under ``name``."""
+        if name in self._services:
+            raise SimulationError(f"service {name!r} already registered")
+        self._services[name] = service
+
+    def get_service(self, name: str) -> Any:
+        """Fetch a previously registered service; raises ``KeyError`` if missing."""
+        return self._services[name]
+
+    def has_service(self, name: str) -> bool:
+        """True if a service was registered under ``name``."""
+        return name in self._services

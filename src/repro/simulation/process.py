@@ -1,0 +1,144 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+A :class:`Process` wraps a Python generator.  The generator drives the
+process by yielding *wait requests*:
+
+* ``yield 2.5`` -- sleep for 2.5 simulated seconds;
+* ``yield event`` -- suspend until the :class:`~repro.simulation.engine.Event`
+  fires, receiving its ``value`` as the result of the ``yield``;
+* ``yield process`` -- wait for another process to terminate, receiving its
+  return value.
+
+This mirrors the coroutine style of SimPy but is implemented from scratch so
+that the reproduction has no external simulation dependency.  Hierarchy
+components use processes for their long-running behaviours (e.g. a Local
+Controller's monitoring loop) and plain callbacks/timers for one-shot work.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Generator, Optional
+
+from repro.simulation.engine import Event, EventCancelled, SimulationError, Simulator
+
+
+class ProcessKilled(Exception):
+    """Injected into a process generator when :meth:`Process.kill` is called."""
+
+
+class Process:
+    """A cooperative process executing a generator on the simulator."""
+
+    def __init__(self, sim: Simulator, generator: Generator, name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._alive = True
+        self._value: Any = None
+        #: Event fired when the process terminates (normally or via kill).
+        self.terminated: Event = sim.event()
+        # Start on the next tick at current time so construction never
+        # executes user code re-entrantly.
+        sim.schedule(0.0, self._resume, None, True)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    @property
+    def value(self) -> Any:
+        """Return value of the generator (``StopIteration.value``) once finished."""
+        return self._value
+
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it.
+
+        Used by failure injection: killing a component's processes models a
+        node crash without tearing down the rest of the simulation.
+        """
+        if not self._alive:
+            return
+        try:
+            self._generator.throw(ProcessKilled(reason))
+        except (StopIteration, ProcessKilled):
+            pass
+        except EventCancelled:
+            pass
+        self._finish(None)
+
+    # --------------------------------------------------------------- plumbing
+    def _finish(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        self._value = value
+        if self.terminated.pending:
+            self.sim.trigger(self.terminated, value)
+
+    def _resume(self, value: Any, ok: bool) -> None:
+        if not self._alive:
+            return
+        try:
+            if ok:
+                request = self._generator.send(value)
+            else:
+                request = self._generator.throw(EventCancelled("waited event was cancelled"))
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except ProcessKilled:
+            self._finish(None)
+            return
+        self._handle_request(request)
+
+    def _handle_request(self, request: Any) -> None:
+        if isinstance(request, Real):
+            delay = float(request)
+            if delay < 0:
+                self._crash(SimulationError(f"process {self.name!r} yielded negative delay {delay}"))
+                return
+            self.sim.schedule(delay, self._resume, None, True)
+        elif isinstance(request, Event):
+            request.add_listener(self._on_event)
+        elif isinstance(request, Process):
+            request.terminated.add_listener(self._on_event)
+        elif request is None:
+            self.sim.schedule(0.0, self._resume, None, True)
+        else:
+            self._crash(
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported object {type(request).__name__}"
+                )
+            )
+
+    def _on_event(self, event: Event, ok: bool) -> None:
+        if ok:
+            self._resume(event.value, True)
+        else:
+            self._resume(None, False)
+
+    def _crash(self, error: Exception) -> None:
+        self._alive = False
+        raise error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+def sleep(duration: float) -> float:
+    """Readability helper: ``yield sleep(3.0)`` inside a process generator."""
+    return float(duration)
+
+
+def wait(event: Event) -> Event:
+    """Readability helper: ``yield wait(event)`` inside a process generator."""
+    return event

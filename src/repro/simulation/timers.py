@@ -1,0 +1,135 @@
+"""Periodic timers and timeouts.
+
+Heartbeats, monitoring intervals, reconfiguration periods and failure
+detection timeouts all reduce to two primitives:
+
+* :class:`PeriodicTimer` -- fire a callback every ``interval`` seconds until
+  stopped (optionally with random jitter so that thousands of Local
+  Controllers do not all send heartbeats in the same microsecond, which is
+  also what happens on a real cluster).
+* :class:`Timeout` -- a restartable one-shot deadline; restarting it models a
+  failure detector that is reset whenever a heartbeat arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simulation.engine import Event, SimulationError, Simulator
+
+
+class PeriodicTimer:
+    """Repeatedly invoke ``callback`` every ``interval`` simulated seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        jitter: float = 0.0,
+        rng=None,
+        start_immediately: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval}")
+        if jitter < 0 or jitter >= interval:
+            raise SimulationError("jitter must satisfy 0 <= jitter < interval")
+        if jitter > 0 and rng is None:
+            raise SimulationError("jitter requires an rng")
+        self.sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.args = args
+        self.jitter = float(jitter)
+        self.rng = rng
+        self.name = name or getattr(callback, "__name__", "timer")
+        self.fired_count = 0
+        self._running = True
+        self._pending: Optional[Event] = None
+        first_delay = 0.0 if start_immediately else self._next_delay()
+        self._pending = sim.schedule(first_delay, self._tick)
+
+    def _next_delay(self) -> float:
+        if self.jitter > 0:
+            return self.interval + float(self.rng.uniform(-self.jitter, self.jitter))
+        return self.interval
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.fired_count += 1
+        self.callback(*self.args)
+        if self._running:
+            self._pending = self.sim.schedule(self._next_delay(), self._tick)
+
+    @property
+    def running(self) -> bool:
+        """True until :meth:`stop` is called."""
+        return self._running
+
+    def stop(self) -> None:
+        """Stop the timer; no further callbacks fire."""
+        self._running = False
+        if self._pending is not None and self._pending.pending:
+            self._pending.cancel()
+        self._pending = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return f"<PeriodicTimer {self.name} every {self.interval}s {state}>"
+
+
+class Timeout:
+    """A restartable deadline used for failure detection.
+
+    ``Timeout(sim, 5.0, on_expire)`` arms a 5 second deadline.  Calling
+    :meth:`restart` (e.g. whenever a heartbeat is received) pushes the
+    deadline back; if it is ever allowed to elapse, ``on_expire`` runs once.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        auto_start: bool = True,
+    ) -> None:
+        if duration <= 0:
+            raise SimulationError(f"timeout duration must be positive, got {duration}")
+        self.sim = sim
+        self.duration = float(duration)
+        self.callback = callback
+        self.args = args
+        self.expired = False
+        self._pending: Optional[Event] = None
+        if auto_start:
+            self.restart()
+
+    @property
+    def armed(self) -> bool:
+        """True if the deadline is currently counting down."""
+        return self._pending is not None and self._pending.pending
+
+    def restart(self, duration: Optional[float] = None) -> None:
+        """(Re-)arm the deadline ``duration`` (default: original duration) from now."""
+        if duration is not None:
+            if duration <= 0:
+                raise SimulationError("timeout duration must be positive")
+            self.duration = float(duration)
+        self.cancel()
+        self.expired = False
+        self._pending = self.sim.schedule(self.duration, self._expire)
+
+    def cancel(self) -> None:
+        """Disarm without firing."""
+        if self._pending is not None and self._pending.pending:
+            self._pending.cancel()
+        self._pending = None
+
+    def _expire(self) -> None:
+        self.expired = True
+        self._pending = None
+        self.callback(*self.args)

@@ -1,0 +1,160 @@
+"""Workload generation: VM requests, arrival processes, consolidation instances.
+
+Two consumers:
+
+* the **hierarchy simulation** (experiments E3-E6) needs *timed* VM submission
+  requests -- batches or Poisson arrivals of :class:`VMRequest`;
+* the **consolidation study** (experiments E1, E2, E7) needs *static*
+  bin-packing instances -- demand matrices plus host capacities, produced by
+  :func:`consolidation_instance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
+from repro.cluster.vm import VirtualMachine
+from repro.workloads.distributions import DemandDistribution, UniformDemandDistribution
+from repro.workloads.traces import ConstantTrace, UtilizationTrace
+
+
+@dataclass
+class VMRequest:
+    """A client submission request: when a VM arrives and what it asks for."""
+
+    arrival_time: float
+    vm: VirtualMachine
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+
+class ArrivalProcess:
+    """Base class for arrival processes; subclasses yield arrival offsets."""
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``count`` non-decreasing arrival times starting at >= 0."""
+        raise NotImplementedError
+
+
+@dataclass
+class BatchArrival(ArrivalProcess):
+    """All VMs submitted at the same instant (the CCGrid'12 submission experiment)."""
+
+    at: float = 0.0
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:  # noqa: ARG002
+        if self.at < 0:
+            raise ValueError("batch arrival time must be non-negative")
+        return np.full(count, float(self.at))
+
+
+@dataclass
+class PoissonArrival(ArrivalProcess):
+    """Poisson arrivals with ``rate_per_hour`` starting at ``start``."""
+
+    rate_per_hour: float = 60.0
+    start: float = 0.0
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if self.rate_per_hour <= 0:
+            raise ValueError("rate_per_hour must be positive")
+        gaps = rng.exponential(3600.0 / self.rate_per_hour, size=count)
+        return self.start + np.cumsum(gaps)
+
+
+class WorkloadGenerator:
+    """Generate timed VM submission workloads for the hierarchy simulation."""
+
+    def __init__(
+        self,
+        demand_distribution: Optional[DemandDistribution] = None,
+        arrival_process: Optional[ArrivalProcess] = None,
+        trace_factory=None,
+        runtime_mean: Optional[float] = None,
+        dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
+    ) -> None:
+        self.demand_distribution = demand_distribution or UniformDemandDistribution(
+            dimensions=dimensions
+        )
+        self.arrival_process = arrival_process or BatchArrival()
+        #: Callable ``trace_factory(rng) -> UtilizationTrace`` applied per VM;
+        #: defaults to a constant full-reservation trace.
+        self.trace_factory = trace_factory or (lambda rng: ConstantTrace(1.0))
+        #: Mean exponential runtime in seconds (None => VMs run forever).
+        self.runtime_mean = runtime_mean
+        self.dimensions = tuple(dimensions)
+
+    def generate(self, count: int, rng: np.random.Generator) -> List[VMRequest]:
+        """Produce ``count`` timed VM requests sorted by arrival time."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        demands = self.demand_distribution.sample(count, rng)
+        arrivals = self.arrival_process.arrival_times(count, rng)
+        runtimes: List[Optional[float]]
+        if self.runtime_mean is not None:
+            runtimes = list(rng.exponential(self.runtime_mean, size=count))
+        else:
+            runtimes = [None] * count
+        requests = []
+        for index in range(count):
+            vm = VirtualMachine(
+                ResourceVector(demands[index], self.dimensions),
+                runtime=runtimes[index],
+                trace=self.trace_factory(rng),
+            )
+            requests.append(VMRequest(float(arrivals[index]), vm))
+        requests.sort(key=lambda request: request.arrival_time)
+        return requests
+
+    def stream(self, count: int, rng: np.random.Generator) -> Iterator[VMRequest]:
+        """Lazily iterate requests (same content as :meth:`generate`)."""
+        yield from self.generate(count, rng)
+
+
+def consolidation_instance(
+    n_vms: int,
+    rng: np.random.Generator,
+    demand_distribution: Optional[DemandDistribution] = None,
+    host_capacity: Sequence[float] = (1.0, 1.0),
+    dimensions: Optional[Sequence[str]] = None,
+    n_hosts: Optional[int] = None,
+    slack: float = 1.3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build a static vector bin-packing instance ``(demands, capacities)``.
+
+    ``demands`` has shape ``(n_vms, d)`` and ``capacities`` ``(n_hosts, d)``.
+    When ``n_hosts`` is omitted it is sized so that a naive lower bound needs
+    roughly ``n_hosts / slack`` hosts, which matches the GRID'11 setup where
+    the host pool always suffices but consolidation quality determines how
+    many hosts end up used.
+    """
+    if n_vms <= 0:
+        raise ValueError("n_vms must be positive")
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1")
+    capacity = np.asarray(host_capacity, dtype=float)
+    if dimensions is None:
+        dimensions = DEFAULT_DIMENSIONS[: capacity.shape[0]]
+    if demand_distribution is None:
+        demand_distribution = UniformDemandDistribution(dimensions=dimensions)
+    if demand_distribution.n_dimensions != capacity.shape[0]:
+        raise ValueError(
+            f"distribution dimensionality {demand_distribution.n_dimensions} does not match "
+            f"host capacity dimensionality {capacity.shape[0]}"
+        )
+    demands = demand_distribution.sample(n_vms, rng)
+    # Demands are fractions of the reference host; scale to the capacity units.
+    demands = demands * capacity[np.newaxis, :]
+    if n_hosts is None:
+        lower_bound = int(np.ceil(np.max(np.sum(demands, axis=0) / capacity)))
+        n_hosts = max(1, int(np.ceil(lower_bound * slack)) + 1)
+    capacities = np.tile(capacity, (n_hosts, 1))
+    return demands, capacities

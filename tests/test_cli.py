@@ -1,0 +1,73 @@
+"""Tests for the ``repro-sim`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+
+
+class TestConsolidateCommand:
+    def test_basic_run_prints_table(self, capsys):
+        assert main(["consolidate", "--vms", "15", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "ffd" in output
+        assert "aco" in output
+        assert "hosts_used" in output
+
+    def test_with_optimal_solver(self, capsys):
+        assert main(["consolidate", "--vms", "8", "--seed", "1", "--optimal"]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_distribution_choice(self, capsys):
+        assert main(["consolidate", "--vms", "10", "--distribution", "correlated"]) == 0
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["consolidate", "--distribution", "bogus"])
+
+
+class TestSimulateCommand:
+    def test_basic_simulation(self, capsys):
+        assert main(["simulate", "--lcs", "4", "--gms", "1", "--vms", "6", "--duration", "120"]) == 0
+        output = capsys.readouterr().out
+        assert "Deployment statistics" in output
+        assert "Energy" in output
+
+    def test_with_leader_kill(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--lcs",
+                    "4",
+                    "--gms",
+                    "2",
+                    "--vms",
+                    "4",
+                    "--duration",
+                    "200",
+                    "--kill-leader",
+                ]
+            )
+            == 0
+        )
+        assert "injected Group Leader failure" in capsys.readouterr().out
+
+    def test_with_energy_management(self, capsys):
+        assert (
+            main(["simulate", "--lcs", "4", "--gms", "1", "--vms", "2", "--duration", "300", "--energy"])
+            == 0
+        )
+
+
+class TestHierarchyCommand:
+    def test_prints_hierarchy(self, capsys):
+        assert main(["hierarchy", "--lcs", "4", "--gms", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Group Leader" in output
+        assert "LC lc-000" in output
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

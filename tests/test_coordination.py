@@ -1,0 +1,243 @@
+"""Tests for the coordination service (znodes, sessions, watches) and leader election."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coordination.election import LeaderElection
+from repro.coordination.znodes import (
+    CoordinationError,
+    CoordinationService,
+    NodeExistsError,
+    NoNodeError,
+)
+
+
+@pytest.fixture
+def service(sim):
+    return CoordinationService(sim, default_session_timeout=10.0)
+
+
+class TestZNodes:
+    def test_create_and_read(self, service):
+        service.create("/config", data={"x": 1})
+        assert service.exists("/config")
+        assert service.get_data("/config") == {"x": 1}
+
+    def test_create_existing_rejected(self, service):
+        service.create("/a")
+        with pytest.raises(NodeExistsError):
+            service.create("/a")
+
+    def test_relative_path_rejected(self, service):
+        with pytest.raises(CoordinationError):
+            service.create("relative/path")
+
+    def test_missing_node_raises(self, service):
+        with pytest.raises(NoNodeError):
+            service.get_data("/missing")
+        with pytest.raises(NoNodeError):
+            service.delete("/missing")
+        with pytest.raises(NoNodeError):
+            service.get_children("/missing")
+
+    def test_set_data(self, service):
+        service.create("/a", data=1)
+        service.set_data("/a", 2)
+        assert service.get_data("/a") == 2
+
+    def test_sequential_nodes_get_increasing_suffixes(self, service):
+        first = service.create("/queue/item-", sequential=True)
+        second = service.create("/queue/item-", sequential=True)
+        assert first < second
+        assert first.endswith("0000000000")
+
+    def test_parents_auto_created(self, service):
+        service.create("/a/b/c/leaf")
+        assert service.exists("/a/b/c")
+        assert service.exists("/a")
+
+    def test_get_children_sorted(self, service):
+        service.create("/root/b")
+        service.create("/root/a")
+        service.create("/root/c/nested")
+        assert service.get_children("/root") == ["a", "b", "c"]
+
+    def test_delete(self, service):
+        service.create("/a")
+        service.delete("/a")
+        assert not service.exists("/a")
+
+    def test_node_count(self, service):
+        service.create("/x")
+        service.create("/y")
+        assert service.node_count() == 2
+
+
+class TestSessionsAndEphemerals:
+    def test_ephemeral_requires_session(self, service):
+        with pytest.raises(CoordinationError):
+            service.create("/e", ephemeral=True)
+
+    def test_ephemeral_deleted_on_session_expiry(self, sim, service):
+        session = service.create_session("gm-0", timeout=5.0)
+        service.create("/members/gm-0", session=session, ephemeral=True)
+        assert service.exists("/members/gm-0")
+        sim.run(until=6.0)  # no touch => expiry
+        assert not service.exists("/members/gm-0")
+        assert not service.session_alive(session)
+
+    def test_touching_session_keeps_ephemeral_alive(self, sim, service):
+        session = service.create_session("gm-0", timeout=5.0)
+        service.create("/members/gm-0", session=session, ephemeral=True)
+        for t in (3.0, 6.0, 9.0):
+            sim.schedule_at(t, service.touch_session, session)
+        sim.run(until=12.0)
+        assert service.exists("/members/gm-0")
+
+    def test_close_session_removes_ephemerals_immediately(self, sim, service):
+        session = service.create_session("gm-0")
+        service.create("/members/gm-0", session=session, ephemeral=True)
+        service.close_session(session)
+        assert not service.exists("/members/gm-0")
+
+    def test_persistent_node_survives_session_expiry(self, sim, service):
+        session = service.create_session("gm-0", timeout=2.0)
+        service.create("/persistent", session=session, ephemeral=False)
+        sim.run(until=5.0)
+        assert service.exists("/persistent")
+
+    def test_touching_expired_session_rejected(self, sim, service):
+        session = service.create_session("gm-0", timeout=2.0)
+        sim.run(until=3.0)
+        with pytest.raises(CoordinationError):
+            service.touch_session(session)
+
+
+class TestWatches:
+    def test_delete_watch_fires(self, sim, service):
+        service.create("/watched")
+        fired = []
+        service.watch_delete("/watched", fired.append)
+        service.delete("/watched")
+        sim.run()
+        assert fired == ["/watched"]
+
+    def test_delete_watch_on_missing_node_fires_immediately(self, sim, service):
+        fired = []
+        service.watch_delete("/never-existed", fired.append)
+        sim.run()
+        assert fired == ["/never-existed"]
+
+    def test_create_watch_fires(self, sim, service):
+        fired = []
+        service.watch_create("/future", fired.append)
+        service.create("/future")
+        sim.run()
+        assert fired == ["/future"]
+
+    def test_watches_are_one_shot(self, sim, service):
+        fired = []
+        service.create("/node")
+        service.watch_delete("/node", fired.append)
+        service.delete("/node")
+        sim.run()
+        service.create("/node")
+        service.delete("/node")
+        sim.run()
+        assert fired == ["/node"]
+
+    def test_children_watch_fires_on_child_creation(self, sim, service):
+        service.create("/parent")
+        fired = []
+        service.watch_children("/parent", fired.append)
+        service.create("/parent/child")
+        sim.run()
+        assert fired == ["/parent"]
+
+
+class TestLeaderElection:
+    def test_first_candidate_becomes_leader(self, sim, service):
+        elected = []
+        election = LeaderElection(service, "gm-0", on_elected=lambda: elected.append("gm-0"))
+        election.join()
+        sim.run(until=1.0)
+        assert election.is_leader
+        assert elected == ["gm-0"]
+        assert election.current_leader() == "gm-0"
+
+    def test_second_candidate_is_not_leader(self, sim, service):
+        LeaderElection(service, "gm-0").join()
+        second = LeaderElection(service, "gm-1")
+        second.join()
+        sim.run(until=1.0)
+        assert not second.is_leader
+        assert second.current_leader() == "gm-0"
+
+    def test_leader_failure_promotes_next_candidate(self, sim, service):
+        first = LeaderElection(service, "gm-0", session_timeout=5.0)
+        first.join()
+        promoted = []
+        second = LeaderElection(
+            service, "gm-1", session_timeout=5.0, on_elected=lambda: promoted.append("gm-1")
+        )
+        second.join()
+        sim.run(until=1.0)
+        # gm-0 stops refreshing its session (crash); gm-1 keeps its own alive.
+        def keep_alive():
+            second.keep_alive()
+
+        for t in range(2, 20, 2):
+            sim.schedule_at(float(t), keep_alive)
+        sim.run(until=20.0)
+        assert second.is_leader
+        assert promoted == ["gm-1"]
+
+    def test_withdraw_releases_leadership(self, sim, service):
+        first = LeaderElection(service, "gm-0")
+        second_elected = []
+        second = LeaderElection(service, "gm-1", on_elected=lambda: second_elected.append(True))
+        first.join()
+        second.join()
+        sim.run(until=1.0)
+        first.withdraw()
+        sim.run(until=2.0)
+        assert not first.is_leader
+        assert second.is_leader
+        assert second_elected == [True]
+
+    def test_leader_changed_callback(self, sim, service):
+        first = LeaderElection(service, "gm-0")
+        first.join()
+        leaders_seen = []
+        second = LeaderElection(service, "gm-1", on_leader_changed=leaders_seen.append)
+        second.join()
+        sim.run(until=1.0)
+        assert leaders_seen == ["gm-0"]
+
+    def test_rejoining_after_withdraw(self, sim, service):
+        election = LeaderElection(service, "gm-0")
+        election.join()
+        sim.run(until=1.0)
+        election.withdraw()
+        election.join()
+        sim.run(until=2.0)
+        assert election.is_leader
+
+    def test_three_way_failover_order(self, sim, service):
+        elections = []
+        for index in range(3):
+            election = LeaderElection(service, f"gm-{index}", session_timeout=4.0)
+            election.join()
+            elections.append(election)
+        sim.run(until=1.0)
+        assert elections[0].is_leader
+        # Keep gm-2 alive only; gm-0 and gm-1 expire.
+        for t in np.arange(2.0, 30.0, 2.0):
+            sim.schedule_at(float(t), elections[2].keep_alive)
+        sim.run(until=30.0)
+        assert elections[2].is_leader
+        assert elections[2].current_leader() == "gm-2"
+
+
+import numpy as np  # noqa: E402  (used by the last test's schedule loop)

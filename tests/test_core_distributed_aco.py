@@ -1,0 +1,106 @@
+"""Tests for the distributed ACO consolidation (the paper's future-work variant)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ACOConsolidation, DistributedACOConsolidation, FirstFitDecreasing
+from repro.core.aco import ACOParameters
+from repro.core.base import lower_bound_hosts
+from repro.workloads import UniformDemandDistribution, consolidation_instance
+
+
+def make_instance(n_vms=60, seed=0):
+    rng = np.random.default_rng(seed)
+    return consolidation_instance(
+        n_vms,
+        rng,
+        demand_distribution=UniformDemandDistribution(0.1, 0.5, dimensions=("cpu", "memory")),
+        host_capacity=(1.0, 1.0),
+    )
+
+
+class TestDistributedACO:
+    def test_produces_feasible_complete_placement(self):
+        demands, capacities = make_instance()
+        result = DistributedACOConsolidation(
+            n_partitions=3,
+            parameters=ACOParameters(n_ants=4, n_cycles=10),
+            rng=np.random.default_rng(1),
+        ).solve(demands, capacities)
+        assert result.feasible
+        assert result.hosts_used >= lower_bound_hosts(demands, capacities)
+
+    def test_respects_partition_count_in_extra(self):
+        demands, capacities = make_instance(40)
+        result = DistributedACOConsolidation(
+            n_partitions=4,
+            parameters=ACOParameters(n_ants=4, n_cycles=8),
+            rng=np.random.default_rng(2),
+        ).solve(demands, capacities)
+        assert result.extra["partitions"] == 4
+        assert len(result.extra["partition_hosts_used"]) == 4
+
+    def test_single_partition_matches_centralized_quality(self):
+        demands, capacities = make_instance(30, seed=3)
+        params = ACOParameters(n_ants=6, n_cycles=15)
+        central = ACOConsolidation(params, rng=np.random.default_rng(7)).solve(demands, capacities)
+        distributed = DistributedACOConsolidation(
+            n_partitions=1, parameters=params, rng=np.random.default_rng(7)
+        ).solve(demands, capacities)
+        assert distributed.feasible
+        assert abs(distributed.hosts_used - central.hosts_used) <= 1
+
+    def test_quality_close_to_ffd_despite_partitioning(self):
+        demands, capacities = make_instance(80, seed=4)
+        ffd = FirstFitDecreasing().solve(demands, capacities)
+        distributed = DistributedACOConsolidation(
+            n_partitions=4,
+            parameters=ACOParameters(n_ants=6, n_cycles=15),
+            rng=np.random.default_rng(5),
+        ).solve(demands, capacities)
+        assert distributed.feasible
+        # Partitioning costs some quality but stays in FFD's neighbourhood.
+        assert distributed.hosts_used <= ffd.hosts_used + 4
+
+    def test_exchange_round_never_hurts(self):
+        demands, capacities = make_instance(60, seed=6)
+        params = ACOParameters(n_ants=4, n_cycles=8)
+        without = DistributedACOConsolidation(
+            n_partitions=3, parameters=params, exchange_round=False, rng=np.random.default_rng(9)
+        ).solve(demands, capacities)
+        with_exchange = DistributedACOConsolidation(
+            n_partitions=3, parameters=params, exchange_round=True, rng=np.random.default_rng(9)
+        ).solve(demands, capacities)
+        assert with_exchange.feasible
+        assert with_exchange.hosts_used <= without.hosts_used
+
+    def test_more_partitions_than_hosts_is_clamped(self):
+        demands = np.array([[0.4, 0.4], [0.3, 0.3]])
+        capacities = np.tile([1.0, 1.0], (2, 1))
+        result = DistributedACOConsolidation(
+            n_partitions=8, parameters=ACOParameters(n_ants=2, n_cycles=4)
+        ).solve(demands, capacities)
+        assert result.feasible
+        assert result.extra["partitions"] == 2
+
+    def test_empty_instance(self):
+        capacities = np.tile([1.0, 1.0], (3, 1))
+        result = DistributedACOConsolidation(n_partitions=2).solve(np.empty((0, 2)), capacities)
+        assert result.hosts_used == 0
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedACOConsolidation(n_partitions=0)
+
+    def test_deterministic_given_rng(self):
+        demands, capacities = make_instance(30, seed=8)
+        params = ACOParameters(n_ants=4, n_cycles=8)
+        a = DistributedACOConsolidation(
+            n_partitions=2, parameters=params, rng=np.random.default_rng(11)
+        ).solve(demands, capacities)
+        b = DistributedACOConsolidation(
+            n_partitions=2, parameters=params, rng=np.random.default_rng(11)
+        ).solve(demands, capacities)
+        assert np.array_equal(a.placement.assignment, b.placement.assignment)

@@ -1,0 +1,213 @@
+"""Tests for monitoring: estimators, collectors and GM summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
+from repro.monitoring.collector import HostMonitor, VMMonitor
+from repro.monitoring.estimators import (
+    EwmaEstimator,
+    MaxEstimator,
+    MeanEstimator,
+    PercentileEstimator,
+    make_estimator,
+)
+from repro.monitoring.summary import GroupManagerSummary, aggregate_summaries
+from repro.workloads.traces import ConstantTrace, SpikeTrace
+
+from tests.conftest import make_node, make_vm
+
+
+class TestEstimators:
+    SAMPLES = np.array([[0.2, 0.3, 0.1], [0.4, 0.3, 0.1], [0.6, 0.3, 0.1]])
+
+    def test_mean(self):
+        estimate = MeanEstimator().estimate(self.SAMPLES)
+        assert estimate[0] == pytest.approx(0.4)
+        assert estimate[1] == pytest.approx(0.3)
+
+    def test_max(self):
+        estimate = MaxEstimator().estimate(self.SAMPLES)
+        assert estimate[0] == pytest.approx(0.6)
+
+    def test_ewma_weighs_recent_samples_more(self):
+        estimate = EwmaEstimator(alpha=0.5).estimate(self.SAMPLES)
+        assert estimate[0] > MeanEstimator().estimate(self.SAMPLES)[0]
+
+    def test_ewma_alpha_one_returns_latest(self):
+        estimate = EwmaEstimator(alpha=1.0).estimate(self.SAMPLES)
+        assert estimate[0] == pytest.approx(0.6)
+
+    def test_percentile(self):
+        estimate = PercentileEstimator(percentile=50.0).estimate(self.SAMPLES)
+        assert estimate[0] == pytest.approx(0.4)
+
+    def test_single_sample_handled(self):
+        estimate = MeanEstimator().estimate(np.array([0.5, 0.5, 0.5]))
+        assert estimate.shape == (3,)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            MeanEstimator().estimate(np.empty((0, 3)))
+
+    def test_estimates_bounded_by_sample_range(self):
+        for estimator in (MeanEstimator(), MaxEstimator(), EwmaEstimator(), PercentileEstimator()):
+            estimate = estimator.estimate(self.SAMPLES)
+            assert np.all(estimate >= self.SAMPLES.min(axis=0) - 1e-12)
+            assert np.all(estimate <= self.SAMPLES.max(axis=0) + 1e-12)
+
+    def test_factory(self):
+        assert isinstance(make_estimator("mean"), MeanEstimator)
+        assert isinstance(make_estimator("ewma", alpha=0.5), EwmaEstimator)
+        with pytest.raises(ValueError):
+            make_estimator("nope")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            PercentileEstimator(percentile=0.0)
+
+
+class TestVMMonitor:
+    def test_sampling_follows_trace(self):
+        vm = make_vm(cpu=0.8, trace=SpikeTrace(before=0.5, after=1.0, at=50.0))
+        monitor = VMMonitor(vm, window=10)
+        monitor.sample(0.0)
+        monitor.sample(100.0)
+        samples = monitor.samples
+        assert len(samples) == 2
+        assert samples[0].usage["cpu"] == pytest.approx(0.4)
+        assert samples[1].usage["cpu"] == pytest.approx(0.8)
+
+    def test_window_is_bounded(self):
+        vm = make_vm(trace=ConstantTrace(0.5))
+        monitor = VMMonitor(vm, window=3)
+        for t in range(10):
+            monitor.sample(float(t))
+        assert len(monitor.samples) == 3
+
+    def test_estimate_falls_back_to_reservation_when_empty(self):
+        vm = make_vm(cpu=0.6)
+        monitor = VMMonitor(vm)
+        assert monitor.estimate_demand() == vm.requested
+
+    def test_estimate_capped_at_reservation(self):
+        vm = make_vm(cpu=0.5, trace=ConstantTrace(1.0))
+        monitor = VMMonitor(vm, estimator=MaxEstimator())
+        monitor.sample(0.0)
+        estimate = monitor.estimate_demand()
+        assert estimate["cpu"] <= vm.requested["cpu"] + 1e-9
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            VMMonitor(make_vm(), window=0)
+
+
+class TestHostMonitor:
+    def test_report_structure(self):
+        node = make_node()
+        vm = make_vm(cpu=0.4, trace=ConstantTrace(1.0))
+        node.place_vm(vm)
+        monitor = HostMonitor(node)
+        report = monitor.report(now=10.0)
+        assert report["node_id"] == node.node_id
+        assert report["vm_count"] == 1
+        assert len(report["capacity"]) == 3
+        assert report["utilization"] == pytest.approx(0.4, abs=1e-6)
+        assert vm.vm_id in report["vm_usage"]
+
+    def test_sample_all_tracks_new_and_removed_vms(self):
+        node = make_node()
+        monitor = HostMonitor(node)
+        vm = make_vm()
+        node.place_vm(vm)
+        samples = monitor.sample_all(1.0)
+        assert vm.vm_id in samples
+        node.remove_vm(vm)
+        samples = monitor.sample_all(2.0)
+        assert vm.vm_id not in samples
+
+    def test_estimated_used_sums_vms(self):
+        node = make_node()
+        for _ in range(2):
+            node.place_vm(make_vm(cpu=0.3, trace=ConstantTrace(1.0)))
+        monitor = HostMonitor(node)
+        monitor.sample_all(0.0)
+        assert monitor.estimated_used()["cpu"] == pytest.approx(0.6)
+
+    def test_utilization_zero_for_idle_host(self):
+        monitor = HostMonitor(make_node())
+        assert monitor.utilization() == 0.0
+
+
+class TestGroupManagerSummary:
+    def _report(self, capacity, reserved, used, vms=1):
+        return {
+            "capacity": capacity,
+            "reserved": reserved,
+            "used": used,
+            "vm_count": vms,
+        }
+
+    def test_from_reports_aggregates(self):
+        reports = [
+            self._report([1.0, 1.0, 1.0], [0.5, 0.5, 0.5], [0.4, 0.4, 0.4], vms=2),
+            self._report([1.0, 1.0, 1.0], [0.2, 0.2, 0.2], [0.1, 0.1, 0.1], vms=1),
+        ]
+        summary = GroupManagerSummary.from_reports("gm-0", 10.0, reports)
+        assert summary.local_controller_count == 2
+        assert summary.active_vm_count == 3
+        assert summary.total_capacity["cpu"] == pytest.approx(2.0)
+        assert summary.reserved["cpu"] == pytest.approx(0.7)
+        assert summary.largest_free_slot["cpu"] == pytest.approx(0.8)
+
+    def test_free_capacity_and_utilization(self):
+        summary = GroupManagerSummary.from_reports(
+            "gm-0", 0.0, [self._report([1.0, 1.0, 1.0], [0.25, 0.25, 0.25], [0.2, 0.2, 0.2])]
+        )
+        assert summary.free_capacity()["cpu"] == pytest.approx(0.75)
+        assert summary.utilization() == pytest.approx(0.25)
+
+    def test_could_host_respects_fragmentation(self):
+        # Two LCs each with 0.5 free: total free 1.0 but largest slot only 0.5.
+        reports = [
+            self._report([1.0, 1.0, 1.0], [0.5, 0.5, 0.5], [0.5, 0.5, 0.5]),
+            self._report([1.0, 1.0, 1.0], [0.5, 0.5, 0.5], [0.5, 0.5, 0.5]),
+        ]
+        summary = GroupManagerSummary.from_reports("gm-0", 0.0, reports)
+        small = ResourceVector([0.4, 0.4, 0.4])
+        large = ResourceVector([0.8, 0.8, 0.8])
+        assert summary.could_host(small)
+        assert not summary.could_host(large)
+
+    def test_payload_round_trip(self):
+        summary = GroupManagerSummary.from_reports(
+            "gm-1", 5.0, [self._report([1.0, 1.0, 1.0], [0.3, 0.3, 0.3], [0.2, 0.2, 0.2])]
+        )
+        clone = GroupManagerSummary.from_payload(summary.to_payload())
+        assert clone.gm_id == "gm-1"
+        assert clone.total_capacity == summary.total_capacity
+        assert clone.largest_free_slot == summary.largest_free_slot
+
+    def test_empty_reports(self):
+        summary = GroupManagerSummary.from_reports("gm-0", 0.0, [])
+        assert summary.local_controller_count == 0
+        assert summary.utilization() == 0.0
+
+    def test_aggregate_summaries(self):
+        summaries = [
+            GroupManagerSummary.from_reports(
+                f"gm-{i}", 0.0, [self._report([1.0, 1.0, 1.0], [0.5, 0.5, 0.5], [0.4, 0.4, 0.4])]
+            )
+            for i in range(3)
+        ]
+        totals = aggregate_summaries(summaries)
+        assert totals["group_managers"] == 3
+        assert totals["local_controllers"] == 3
+        assert totals["total_capacity"]["cpu"] == pytest.approx(3.0)
+
+    def test_aggregate_empty_returns_none(self):
+        assert aggregate_summaries([]) is None

@@ -1,0 +1,267 @@
+"""Tests for the simulated messaging substrate: transport, multicast, RPC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.message import Message, MessageType
+from repro.network.multicast import MulticastGroup, MulticastRegistry
+from repro.network.rpc import RpcChannel, RpcError
+from repro.network.transport import Network, NetworkConfig
+from repro.simulation.engine import Simulator
+
+
+@pytest.fixture
+def network(sim):
+    return Network(sim, NetworkConfig(base_latency=0.001, jitter=0.0), rng=np.random.default_rng(0))
+
+
+class TestNetworkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(base_latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_probability=1.0)
+
+
+class TestTransport:
+    def test_message_delivered_to_registered_endpoint(self, sim, network):
+        received = []
+        network.register("bob", received.append)
+        network.register("alice", lambda m: None)
+        message = Message(MessageType.VM_SUBMIT, sender="alice", recipient="bob", payload=42)
+        assert network.send(message)
+        sim.run()
+        assert len(received) == 1
+        assert received[0].payload == 42
+        assert received[0].latency == pytest.approx(0.001)
+
+    def test_message_to_unknown_recipient_is_dropped(self, sim, network):
+        network.register("alice", lambda m: None)
+        network.send(Message(MessageType.VM_SUBMIT, sender="alice", recipient="ghost"))
+        sim.run()
+        assert network.messages_dropped == 1
+        assert network.messages_delivered == 0
+
+    def test_disconnected_recipient_drops_message(self, sim, network):
+        received = []
+        network.register("bob", received.append)
+        network.disconnect("bob")
+        network.send(Message(MessageType.VM_SUBMIT, sender="x", recipient="bob"))
+        sim.run()
+        assert received == []
+        assert network.messages_dropped == 1
+
+    def test_disconnected_sender_cannot_send(self, sim, network):
+        received = []
+        network.register("bob", received.append)
+        network.register("alice", lambda m: None)
+        network.disconnect("alice")
+        assert not network.send(Message(MessageType.VM_SUBMIT, sender="alice", recipient="bob"))
+        sim.run()
+        assert received == []
+
+    def test_reconnect_restores_delivery(self, sim, network):
+        received = []
+        network.register("bob", received.append)
+        network.disconnect("bob")
+        network.reconnect("bob")
+        network.send(Message(MessageType.VM_SUBMIT, sender="x", recipient="bob"))
+        sim.run()
+        assert len(received) == 1
+
+    def test_loss_probability_drops_messages(self, sim):
+        lossy = Network(
+            sim, NetworkConfig(loss_probability=0.5), rng=np.random.default_rng(1)
+        )
+        received = []
+        lossy.register("bob", received.append)
+        for _ in range(200):
+            lossy.send(Message(MessageType.VM_SUBMIT, sender="x", recipient="bob"))
+        sim.run()
+        assert 40 < len(received) < 160  # roughly half, not all, not none
+
+    def test_jitter_varies_latency(self, sim):
+        jittery = Network(
+            sim, NetworkConfig(base_latency=0.001, jitter=0.01), rng=np.random.default_rng(2)
+        )
+        latencies = []
+        jittery.register("bob", lambda m: latencies.append(m.latency))
+        for _ in range(20):
+            jittery.send(Message(MessageType.VM_SUBMIT, sender="x", recipient="bob"))
+        sim.run()
+        assert len(set(np.round(latencies, 9))) > 1
+        assert all(lat >= 0.001 for lat in latencies)
+
+    def test_stats_counters(self, sim, network):
+        network.register("bob", lambda m: None)
+        network.send(Message(MessageType.VM_SUBMIT, sender="x", recipient="bob"), size_bytes=100)
+        sim.run()
+        stats = network.stats()
+        assert stats["messages_sent"] == 1
+        assert stats["messages_delivered"] == 1
+        assert stats["bytes_sent"] == 100
+
+    def test_re_registration_replaces_handler(self, sim, network):
+        first, second = [], []
+        network.register("bob", first.append)
+        network.register("bob", second.append)
+        network.send(Message(MessageType.VM_SUBMIT, sender="x", recipient="bob"))
+        sim.run()
+        assert first == []
+        assert len(second) == 1
+
+    def test_message_reply_addresses_sender(self):
+        message = Message(MessageType.RPC_REQUEST, sender="a", recipient="b", correlation_id=9)
+        reply = message.reply(MessageType.RPC_REPLY, payload="ok")
+        assert reply.sender == "b"
+        assert reply.recipient == "a"
+        assert reply.correlation_id == 9
+
+
+class TestMulticast:
+    def test_publish_reaches_all_subscribers_except_sender(self, sim, network):
+        inboxes = {name: [] for name in ("a", "b", "c")}
+        for name in inboxes:
+            network.register(name, inboxes[name].append)
+        group = MulticastGroup(network, "heartbeats")
+        for name in inboxes:
+            group.subscribe(name)
+        fanout = group.publish("a", MessageType.GL_HEARTBEAT, payload={"gl": "a"})
+        sim.run()
+        assert fanout == 2
+        assert len(inboxes["a"]) == 0
+        assert len(inboxes["b"]) == 1
+        assert len(inboxes["c"]) == 1
+
+    def test_subscribe_unsubscribe_idempotent(self, network):
+        group = MulticastGroup(network, "g")
+        group.subscribe("x")
+        group.subscribe("x")
+        assert len(group) == 1
+        group.unsubscribe("x")
+        group.unsubscribe("x")
+        assert len(group) == 0
+
+    def test_unsubscribed_endpoint_not_reached(self, sim, network):
+        inbox = []
+        network.register("a", lambda m: None)
+        network.register("b", inbox.append)
+        group = MulticastGroup(network, "g")
+        group.subscribe("b")
+        group.unsubscribe("b")
+        group.publish("a", MessageType.GL_HEARTBEAT)
+        sim.run()
+        assert inbox == []
+
+    def test_registry_caches_groups(self, sim, network):
+        registry = MulticastRegistry(network)
+        assert registry.group("x") is registry.group("x")
+        assert "x" in registry.groups()
+
+    def test_contains(self, network):
+        group = MulticastGroup(network, "g")
+        group.subscribe("member")
+        assert "member" in group
+        assert "stranger" not in group
+
+
+class TestRpc:
+    def test_round_trip_call(self, sim, network):
+        server = RpcChannel(network, "server")
+        client = RpcChannel(network, "client")
+        network.register("server", server.handle_message)
+        network.register("client", client.handle_message)
+        server.register_operation("add", lambda a, b: a + b)
+
+        results = []
+        client.call("server", "add", kwargs={"a": 2, "b": 3}, on_reply=results.append)
+        sim.run()
+        assert results == [5]
+
+    def test_unknown_operation_reports_error(self, sim, network):
+        server = RpcChannel(network, "server")
+        client = RpcChannel(network, "client")
+        network.register("server", server.handle_message)
+        network.register("client", client.handle_message)
+        errors = []
+        client.call("server", "nope", on_error=errors.append)
+        sim.run()
+        assert len(errors) == 1
+        assert "unknown operation" in errors[0]
+
+    def test_handler_exception_travels_back_as_error(self, sim, network):
+        server = RpcChannel(network, "server")
+        client = RpcChannel(network, "client")
+        network.register("server", server.handle_message)
+        network.register("client", client.handle_message)
+
+        def explode():
+            raise RuntimeError("boom")
+
+        server.register_operation("explode", explode)
+        errors = []
+        client.call("server", "explode", on_error=errors.append)
+        sim.run()
+        assert errors and "boom" in errors[0]
+
+    def test_timeout_fires_when_server_unreachable(self, sim, network):
+        client = RpcChannel(network, "client")
+        network.register("client", client.handle_message)
+        timeouts = []
+        client.call("ghost", "op", on_timeout=lambda: timeouts.append(True), timeout=2.0)
+        sim.run()
+        assert timeouts == [True]
+        assert client.pending_calls == 0
+
+    def test_deferred_reply_via_event(self, sim, network):
+        server = RpcChannel(network, "server")
+        client = RpcChannel(network, "client")
+        network.register("server", server.handle_message)
+        network.register("client", client.handle_message)
+
+        def slow_operation():
+            event = sim.event()
+            sim.schedule(5.0, lambda: sim.trigger(event, "late-result"))
+            return event
+
+        server.register_operation("slow", slow_operation)
+        results = []
+        client.call("server", "slow", on_reply=results.append, timeout=10.0)
+        sim.run()
+        assert results == ["late-result"]
+
+    def test_duplicate_operation_registration_rejected(self, network):
+        server = RpcChannel(network, "server")
+        server.register_operation("op", lambda: 1)
+        with pytest.raises(RpcError):
+            server.register_operation("op", lambda: 2)
+
+    def test_cancel_all_drops_pending_calls(self, sim, network):
+        client = RpcChannel(network, "client")
+        network.register("client", client.handle_message)
+        outcomes = []
+        client.call("ghost", "op", on_timeout=lambda: outcomes.append("timeout"), timeout=5.0)
+        client.cancel_all()
+        sim.run()
+        assert outcomes == []
+        assert client.pending_calls == 0
+
+    def test_exactly_one_callback_per_call(self, sim, network):
+        server = RpcChannel(network, "server")
+        client = RpcChannel(network, "client")
+        network.register("server", server.handle_message)
+        network.register("client", client.handle_message)
+        server.register_operation("ping", lambda: "pong")
+        outcomes = []
+        client.call(
+            "server",
+            "ping",
+            on_reply=lambda r: outcomes.append(("reply", r)),
+            on_error=lambda e: outcomes.append(("error", e)),
+            on_timeout=lambda: outcomes.append(("timeout", None)),
+            timeout=30.0,
+        )
+        sim.run()
+        assert outcomes == [("reply", "pong")]

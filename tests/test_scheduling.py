@@ -1,0 +1,322 @@
+"""Tests for the two-level scheduling policies: thresholds, dispatching, placement,
+relocation and reconfiguration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.ffd import FirstFitDecreasing
+from repro.monitoring.summary import GroupManagerSummary
+from repro.scheduling.dispatching import (
+    FirstFitDispatching,
+    LeastLoadedDispatching,
+    RoundRobinDispatching,
+    make_dispatching_policy,
+)
+from repro.scheduling.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    RoundRobinPlacement,
+    WorstFitPlacement,
+    make_placement_policy,
+)
+from repro.scheduling.reconfiguration import ReconfigurationPolicy
+from repro.scheduling.relocation import OverloadRelocationPolicy, UnderloadRelocationPolicy
+from repro.scheduling.thresholds import LoadBand, UtilizationThresholds
+from repro.workloads.traces import ConstantTrace
+
+from tests.conftest import make_node, make_vm
+
+
+class TestThresholds:
+    def test_classification(self):
+        thresholds = UtilizationThresholds(underload=0.2, overload=0.8)
+        assert thresholds.classify(0.1) is LoadBand.UNDERLOADED
+        assert thresholds.classify(0.5) is LoadBand.MODERATE
+        assert thresholds.classify(0.9) is LoadBand.OVERLOADED
+
+    def test_boundaries_are_moderate(self):
+        thresholds = UtilizationThresholds(underload=0.2, overload=0.8)
+        assert thresholds.classify(0.2) is LoadBand.MODERATE
+        assert thresholds.classify(0.8) is LoadBand.MODERATE
+
+    def test_headroom(self):
+        thresholds = UtilizationThresholds(overload=0.8)
+        assert thresholds.headroom(0.5) == pytest.approx(0.3)
+        assert thresholds.headroom(0.9) == 0.0
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationThresholds(underload=0.9, overload=0.8)
+        with pytest.raises(ValueError):
+            UtilizationThresholds(underload=-0.1, overload=0.8)
+
+
+def summary_for(gm_id, reserved_fraction, lc_count=4):
+    capacity = ResourceVector([float(lc_count)] * 3)
+    reserved = capacity * reserved_fraction
+    return GroupManagerSummary(
+        gm_id=gm_id,
+        timestamp=0.0,
+        total_capacity=capacity,
+        reserved=reserved,
+        used=reserved,
+        local_controller_count=lc_count,
+        active_vm_count=lc_count,
+        largest_free_slot=ResourceVector([1.0 - reserved_fraction] * 3),
+    )
+
+
+class TestDispatching:
+    DEMAND = ResourceVector([0.3, 0.3, 0.3])
+
+    def test_round_robin_rotates(self):
+        policy = RoundRobinDispatching()
+        summaries = {f"gm-{i}": summary_for(f"gm-{i}", 0.2) for i in range(3)}
+        first = policy.candidates(self.DEMAND, summaries)
+        second = policy.candidates(self.DEMAND, summaries)
+        assert first[0] != second[0]
+        assert sorted(first) == sorted(second) == ["gm-0", "gm-1", "gm-2"]
+
+    def test_least_loaded_prefers_emptiest_gm(self):
+        policy = LeastLoadedDispatching()
+        summaries = {
+            "gm-0": summary_for("gm-0", 0.7),
+            "gm-1": summary_for("gm-1", 0.1),
+            "gm-2": summary_for("gm-2", 0.4),
+        }
+        assert policy.candidates(self.DEMAND, summaries)[0] == "gm-1"
+
+    def test_first_fit_is_id_ordered(self):
+        policy = FirstFitDispatching()
+        summaries = {
+            "gm-2": summary_for("gm-2", 0.1),
+            "gm-0": summary_for("gm-0", 0.6),
+            "gm-1": summary_for("gm-1", 0.3),
+        }
+        assert policy.candidates(self.DEMAND, summaries) == ["gm-0", "gm-1", "gm-2"]
+
+    def test_implausible_gms_filtered_but_fallback_to_all(self):
+        policy = FirstFitDispatching()
+        # Both GMs too full for the VM -> fallback returns all of them.
+        summaries = {
+            "gm-0": summary_for("gm-0", 0.95),
+            "gm-1": summary_for("gm-1", 0.99),
+        }
+        big_demand = ResourceVector([0.9, 0.9, 0.9])
+        assert sorted(policy.candidates(big_demand, summaries)) == ["gm-0", "gm-1"]
+
+    def test_factory(self):
+        assert isinstance(make_dispatching_policy("round-robin"), RoundRobinDispatching)
+        assert isinstance(make_dispatching_policy("least-loaded"), LeastLoadedDispatching)
+        with pytest.raises(ValueError):
+            make_dispatching_policy("nope")
+
+    def test_empty_summaries(self):
+        assert RoundRobinDispatching().candidates(self.DEMAND, {}) == []
+
+
+class TestPlacementPolicies:
+    def make_nodes(self):
+        nodes = [make_node(f"node-{i}") for i in range(3)]
+        # node-0 half full, node-1 nearly full, node-2 empty.
+        nodes[0].place_vm(make_vm(0.5, 0.5, 0.5))
+        nodes[1].place_vm(make_vm(0.8, 0.8, 0.8))
+        return nodes
+
+    def test_first_fit_picks_lowest_id_that_fits(self):
+        nodes = self.make_nodes()
+        chosen = FirstFitPlacement().select(make_vm(0.3, 0.3, 0.3), nodes)
+        assert chosen.node_id == "node-0"
+
+    def test_best_fit_picks_fullest_feasible_node(self):
+        nodes = self.make_nodes()
+        chosen = BestFitPlacement().select(make_vm(0.1, 0.1, 0.1), nodes)
+        assert chosen.node_id == "node-1"
+
+    def test_worst_fit_picks_emptiest_node(self):
+        nodes = self.make_nodes()
+        chosen = WorstFitPlacement().select(make_vm(0.1, 0.1, 0.1), nodes)
+        assert chosen.node_id == "node-2"
+
+    def test_round_robin_cycles_through_feasible_nodes(self):
+        nodes = [make_node(f"node-{i}") for i in range(3)]
+        policy = RoundRobinPlacement()
+        chosen = [policy.select(make_vm(0.1, 0.1, 0.1), nodes).node_id for _ in range(3)]
+        assert len(set(chosen)) == 3
+
+    def test_none_when_nothing_fits(self):
+        nodes = [make_node("node-0")]
+        nodes[0].place_vm(make_vm(0.9, 0.9, 0.9))
+        assert FirstFitPlacement().select(make_vm(0.5, 0.5, 0.5), nodes) is None
+
+    def test_suspended_nodes_excluded(self):
+        from repro.cluster.node import NodeState
+
+        nodes = [make_node("node-0"), make_node("node-1")]
+        nodes[0].state = NodeState.SUSPENDED
+        chosen = FirstFitPlacement().select(make_vm(), nodes)
+        assert chosen.node_id == "node-1"
+
+    def test_factory(self):
+        assert isinstance(make_placement_policy("best-fit"), BestFitPlacement)
+        with pytest.raises(ValueError):
+            make_placement_policy("nope")
+
+
+class TestOverloadRelocation:
+    def overloaded_setup(self):
+        source = make_node("hot")
+        for _ in range(3):
+            vm = make_vm(cpu=0.32, memory=0.2, network=0.1, trace=ConstantTrace(1.0))
+            source.place_vm(vm)
+            vm.update_usage(0.0)
+        destinations = [make_node("cold-0"), make_node("cold-1")]
+        return source, destinations
+
+    def test_moves_enough_vms_to_clear_overload(self):
+        source, destinations = self.overloaded_setup()
+        policy = OverloadRelocationPolicy(UtilizationThresholds(overload=0.8))
+        decision = policy.decide(source, destinations + [source])
+        assert not decision.empty
+        moved_cpu = sum(vm.used["cpu"] for vm, _, _ in decision.moves)
+        assert source.used()["cpu"] - moved_cpu <= 0.8 + 1e-9
+
+    def test_no_moves_when_not_overloaded(self):
+        source = make_node("ok")
+        vm = make_vm(cpu=0.3, trace=ConstantTrace(1.0))
+        source.place_vm(vm)
+        vm.update_usage(0.0)
+        decision = OverloadRelocationPolicy().decide(source, [make_node("other")])
+        assert decision.empty
+        assert "not overloaded" in decision.reason
+
+    def test_no_moves_without_feasible_destination(self):
+        source, _ = self.overloaded_setup()
+        full = make_node("full")
+        full.place_vm(make_vm(0.95, 0.9, 0.9))
+        decision = OverloadRelocationPolicy().decide(source, [full])
+        assert decision.empty
+
+    def test_destinations_not_pushed_over_threshold(self):
+        source, destinations = self.overloaded_setup()
+        policy = OverloadRelocationPolicy(UtilizationThresholds(overload=0.8))
+        decision = policy.decide(source, destinations)
+        added = {}
+        for vm, _, destination in decision.moves:
+            added[destination.node_id] = added.get(destination.node_id, 0.0) + vm.used["cpu"]
+        for destination in destinations:
+            assert destination.used()["cpu"] + added.get(destination.node_id, 0.0) <= 0.8 + 1e-9
+
+
+class TestUnderloadRelocation:
+    def test_evacuates_underloaded_host_entirely(self):
+        source = make_node("light")
+        vm = make_vm(cpu=0.1, memory=0.1, network=0.05, trace=ConstantTrace(1.0))
+        source.place_vm(vm)
+        vm.update_usage(0.0)
+        busy = make_node("busy")
+        busy_vm = make_vm(cpu=0.5, memory=0.3, network=0.1, trace=ConstantTrace(1.0))
+        busy.place_vm(busy_vm)
+        busy_vm.update_usage(0.0)
+        decision = UnderloadRelocationPolicy().decide(source, [busy])
+        assert len(decision.moves) == 1
+        assert decision.moves[0][2].node_id == "busy"
+
+    def test_all_or_nothing(self):
+        source = make_node("light")
+        for _ in range(2):
+            vm = make_vm(cpu=0.08, memory=0.45, network=0.05, trace=ConstantTrace(1.0))
+            source.place_vm(vm)
+            vm.update_usage(0.0)
+        # Destination can fit only one of the two VMs (memory bound).
+        busy = make_node("busy")
+        filler = make_vm(cpu=0.3, memory=0.5, network=0.1, trace=ConstantTrace(1.0))
+        busy.place_vm(filler)
+        filler.update_usage(0.0)
+        decision = UnderloadRelocationPolicy().decide(source, [busy])
+        assert decision.empty
+        assert "aborting evacuation" in decision.reason
+
+    def test_empty_hosts_not_used_as_destinations(self):
+        source = make_node("light")
+        vm = make_vm(cpu=0.1, trace=ConstantTrace(1.0))
+        source.place_vm(vm)
+        vm.update_usage(0.0)
+        empty = make_node("empty")
+        decision = UnderloadRelocationPolicy().decide(source, [empty])
+        assert decision.empty
+
+    def test_not_underloaded_means_no_moves(self):
+        source = make_node("mid")
+        vm = make_vm(cpu=0.5, trace=ConstantTrace(1.0))
+        source.place_vm(vm)
+        vm.update_usage(0.0)
+        decision = UnderloadRelocationPolicy().decide(source, [make_node("busy")])
+        assert decision.empty
+
+
+class TestReconfiguration:
+    def spread_out_cluster(self, vms_per_node=1, node_count=6):
+        nodes = [make_node(f"node-{i}") for i in range(node_count)]
+        for node in nodes[:4]:
+            for _ in range(vms_per_node):
+                vm = make_vm(cpu=0.3, memory=0.3, network=0.1, trace=ConstantTrace(1.0))
+                node.place_vm(vm)
+                vm.update_usage(0.0)
+        return nodes
+
+    def test_consolidation_reduces_hosts(self):
+        nodes = self.spread_out_cluster()
+        policy = ReconfigurationPolicy(algorithm=FirstFitDecreasing())
+        plan = policy.plan(nodes)
+        assert plan.hosts_before == 4
+        assert plan.hosts_after < plan.hosts_before
+        assert plan.hosts_saved >= 1
+        assert not plan.empty
+
+    def test_released_nodes_are_reported(self):
+        nodes = self.spread_out_cluster()
+        plan = ReconfigurationPolicy(algorithm=FirstFitDecreasing()).plan(nodes)
+        assert len(plan.released_nodes) >= 1
+        for released in plan.released_nodes:
+            assert released.vm_count > 0  # currently busy, would be emptied by the plan
+
+    def test_aco_reconfiguration_also_works(self):
+        nodes = self.spread_out_cluster()
+        policy = ReconfigurationPolicy(
+            algorithm=ACOConsolidation(ACOParameters(n_ants=4, n_cycles=10), rng=np.random.default_rng(0))
+        )
+        plan = policy.plan(nodes)
+        assert plan.hosts_after <= plan.hosts_before
+
+    def test_max_migrations_cap(self):
+        nodes = self.spread_out_cluster(vms_per_node=2)
+        policy = ReconfigurationPolicy(algorithm=FirstFitDecreasing(), max_migrations=1)
+        plan = policy.plan(nodes)
+        assert len(plan.moves) <= 1
+
+    def test_overloaded_hosts_excluded_by_default(self):
+        nodes = [make_node(f"node-{i}") for i in range(3)]
+        hot_vm = make_vm(cpu=0.95, trace=ConstantTrace(1.0))
+        nodes[0].place_vm(hot_vm)
+        hot_vm.update_usage(0.0)
+        policy = ReconfigurationPolicy(algorithm=FirstFitDecreasing())
+        eligible = policy._eligible_nodes(nodes)
+        assert nodes[0] not in eligible
+
+    def test_no_plan_for_fewer_than_two_nodes(self):
+        node = make_node()
+        vm = make_vm()
+        node.place_vm(vm)
+        plan = ReconfigurationPolicy(algorithm=FirstFitDecreasing()).plan([node])
+        assert plan.empty
+
+    def test_consolidation_summary_recorded(self):
+        nodes = self.spread_out_cluster()
+        plan = ReconfigurationPolicy(algorithm=FirstFitDecreasing()).plan(nodes)
+        assert plan.consolidation_summary.get("algorithm") == "ffd"
+        assert "runtime_seconds" in plan.consolidation_summary
