@@ -5,12 +5,28 @@ experiment index in DESIGN.md) and prints a plain-text table with the same
 rows/series the paper reports.  Absolute numbers differ from the paper's
 testbed measurements; the *shape* (who wins, by roughly what factor) is what
 EXPERIMENTS.md compares.
+
+Besides the human-readable tables, :func:`run_once` writes one machine-readable
+``BENCH_<EXPERIMENT>.json`` summary per experiment under ``benchmarks/results/``
+(timing plus a headline metric extracted from the benchmark's return value),
+seeding the performance trajectory across PRs.  Set ``REPRO_BENCH_RESULTS`` to
+redirect the output directory, or to an empty string to disable writing.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Optional
+
 import numpy as np
 import pytest
+
+#: Default directory for BENCH_<experiment>.json summaries.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 @pytest.fixture
@@ -19,10 +35,87 @@ def bench_rng() -> np.random.Generator:
     return np.random.default_rng(2012)
 
 
+def _experiment_id(benchmark) -> Optional[str]:
+    """Extract the experiment tag (``E1`` ... ``E8``) from the benchmark name."""
+    name = getattr(benchmark, "fullname", None) or getattr(benchmark, "name", "") or ""
+    match = re.search(r"\be(\d+)\b|_e(\d+)_", name.lower())
+    if match is None:
+        return None
+    return f"E{match.group(1) or match.group(2)}"
+
+
+def _headline_metric(result) -> Optional[dict]:
+    """Pull a small, JSON-safe headline out of a benchmark's return value.
+
+    Benchmarks return a dict, a list of row-dicts, or a ComparisonTable-like
+    object; the headline is the first row's scalar entries (enough to spot a
+    regression without parsing the full table).
+    """
+    row = result
+    if hasattr(row, "rows"):  # ComparisonTable
+        row = row.rows
+    if isinstance(row, (list, tuple)) and row:
+        row = row[0]
+    if not isinstance(row, dict):
+        if isinstance(row, (int, float, str, bool)):
+            return {"value": row}
+        return None
+    headline = {}
+    for key, value in row.items():
+        if isinstance(value, (bool, str)):
+            headline[key] = value
+        elif isinstance(value, (int, float, np.integer, np.floating)):
+            headline[key] = float(value)
+    return headline or None
+
+
+def _write_summary(experiment: str, benchmark, elapsed_seconds: float, result) -> None:
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS")
+    if results_dir == "":
+        return
+    directory = Path(results_dir) if results_dir else RESULTS_DIR
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{experiment}.json"
+        entry = {
+            "benchmark": getattr(benchmark, "name", None) or experiment,
+            "elapsed_seconds": round(elapsed_seconds, 4),
+            "headline": _headline_metric(result),
+        }
+        summary = {"experiment": experiment, "entries": []}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+                if isinstance(existing.get("entries"), list):
+                    summary = existing
+            except (json.JSONDecodeError, OSError):
+                pass
+        summary["entries"] = [
+            other for other in summary["entries"] if other.get("benchmark") != entry["benchmark"]
+        ] + [entry]
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        # Results are a convenience artifact; never fail a benchmark over them.
+        pass
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     The experiments are full simulations or algorithm sweeps: one round is
     both representative and keeps the harness fast enough to run on a laptop.
+    Also writes the ``BENCH_<experiment>.json`` machine-readable summary.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    elapsed = time.perf_counter() - start
+    # Prefer pytest-benchmark's own measurement so the JSON matches the table
+    # it prints; fall back to the wall clock if the stats API ever changes.
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    total = getattr(stats, "total", None)
+    if total:
+        elapsed = float(total)
+    experiment = _experiment_id(benchmark)
+    if experiment is not None:
+        _write_summary(experiment, benchmark, elapsed, result)
+    return result

@@ -17,11 +17,17 @@ Sub-commands
     Build and start a deployment, then print the hierarchy organization
     (which GM leads, which LCs each GM manages), the CLI's equivalent of the
     paper's "live visualizing and exporting of the hierarchy organization".
+
+``repro-sim scenario``
+    List, describe and run the declarative scenario catalog
+    (:mod:`repro.scenarios`): ``scenario list``, ``scenario describe <name>``,
+    ``scenario run <name> [--seed N] [--duration S] [--json]``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -31,6 +37,7 @@ from repro.core import ACOConsolidation, BestFitDecreasing, BranchAndBoundOptima
 from repro.core.aco import ACOParameters
 from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
 from repro.metrics.report import ComparisonTable
+from repro.scenarios import ScenarioRunner, get_scenario, iter_scenarios
 from repro.workloads import (
     BatchArrival,
     UniformDemandDistribution,
@@ -83,6 +90,19 @@ def _build_parser() -> argparse.ArgumentParser:
     hierarchy.add_argument("--lcs", type=int, default=8, help="number of local controllers")
     hierarchy.add_argument("--gms", type=int, default=2, help="number of group managers")
     hierarchy.add_argument("--seed", type=int, default=0, help="random seed")
+
+    scenario = subparsers.add_parser(
+        "scenario", help="list, describe and run declarative catalog scenarios"
+    )
+    scenario.add_argument("action", choices=["list", "describe", "run"], help="what to do")
+    scenario.add_argument("name", nargs="?", help="scenario name (for describe/run)")
+    scenario.add_argument("--seed", type=int, default=0, help="random seed")
+    scenario.add_argument(
+        "--duration", type=float, default=None, help="override the simulated duration (seconds)"
+    )
+    scenario.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
+    )
     return parser
 
 
@@ -179,6 +199,72 @@ def _run_hierarchy(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------- scenario
+def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.action == "list":
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "name": spec.name,
+                            "description": spec.description,
+                            "duration": spec.duration,
+                            "local_controllers": spec.local_controllers,
+                            "vms": spec.total_vms(),
+                            "timeline_events": len(spec.timeline),
+                        }
+                        for spec in iter_scenarios()
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        table = ComparisonTable("Scenario catalog")
+        for spec in iter_scenarios():
+            table.add_row(
+                name=spec.name,
+                lcs=spec.local_controllers,
+                vms=spec.total_vms(),
+                duration_s=spec.duration,
+                events=len(spec.timeline),
+                description=spec.description,
+            )
+        table.print()
+        return 0
+
+    if args.name is None:
+        parser.error(f"scenario {args.action} requires a scenario name")
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+
+    if args.action == "describe":
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=args.json))
+        return 0
+
+    try:
+        runner = ScenarioRunner(spec, seed=args.seed, duration=args.duration)
+        result = runner.run()
+    except ValueError as exc:
+        # Bad overrides (non-positive duration, negative seed, ...) are user
+        # errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(f"Scenario: {spec.name} (seed {args.seed})\n  {spec.description}")
+    for section in ("submissions", "churn", "packing", "energy", "availability"):
+        table = ComparisonTable(section)
+        for key, value in getattr(result, section).items():
+            table.add_row(metric=key, value=value)
+        table.print()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -189,6 +275,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_simulate(args)
     if args.command == "hierarchy":
         return _run_hierarchy(args)
+    if args.command == "scenario":
+        return _run_scenario(args, parser)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

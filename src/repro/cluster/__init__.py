@@ -33,7 +33,13 @@ from repro.cluster.power import (
     PowerStateSpec,
     DEFAULT_POWER_STATES,
 )
-from repro.cluster.topology import ClusterSpec, ClusterTopology, build_cluster, homogeneous_nodes
+from repro.cluster.topology import (
+    ClusterSpec,
+    ClusterTopology,
+    NodeClass,
+    build_cluster,
+    homogeneous_nodes,
+)
 
 __all__ = [
     "DEFAULT_DIMENSIONS",
@@ -52,6 +58,7 @@ __all__ = [
     "PowerStateSpec",
     "DEFAULT_POWER_STATES",
     "ClusterSpec",
+    "NodeClass",
     "ClusterTopology",
     "build_cluster",
     "homogeneous_nodes",

@@ -50,6 +50,8 @@ class PhysicalNode:
         self.power_model: PowerModel = power_model or LinearPowerModel()
         #: Name of the administrator-selected low power state (paper Section III).
         self.power_state_name = power_state_name
+        #: Hardware class of a heterogeneous fleet (None in homogeneous clusters).
+        self.node_class: Optional[str] = None
         self.state = NodeState.ON
         self._vms: Dict[int, VirtualMachine] = {}
         #: Simulated time at which the node last became idle (no VMs); used by

@@ -21,6 +21,33 @@ from repro.cluster.node import PhysicalNode
 
 
 @dataclass
+class NodeClass:
+    """A homogeneous slice of a heterogeneous fleet.
+
+    Real clusters mix hardware generations: a class names one generation with
+    its own capacity vector and power envelope.  A :class:`ClusterSpec` built
+    from classes concatenates them in declaration order (so node index ranges
+    map to classes deterministically).
+    """
+
+    name: str
+    count: int
+    capacity: Sequence[float] = (1.0, 1.0, 1.0)
+    p_idle: float = 170.0
+    p_max: float = 250.0
+
+    def __post_init__(self) -> None:
+        # Normalize so specs round-trip through JSON (lists) with equality.
+        self.capacity = tuple(float(value) for value in self.capacity)
+        if self.count <= 0:
+            raise ValueError("node class count must be positive")
+        if any(value <= 0 for value in self.capacity):
+            raise ValueError("node class capacity must be positive")
+        if self.p_idle < 0 or self.p_max < self.p_idle:
+            raise ValueError("require 0 <= p_idle <= p_max")
+
+
+@dataclass
 class ClusterSpec:
     """Declarative description of a cluster to build.
 
@@ -30,6 +57,10 @@ class ClusterSpec:
         Number of physical nodes (Local Controller hosts).
     node_capacity:
         Capacity vector per node.  Defaults to a normalized unit host.
+    node_classes:
+        Optional heterogeneous fleet description.  When given, nodes are built
+        class by class (capacity and power model per class) and ``node_count``
+        is forced to the sum of the class counts.
     nodes_per_rack:
         Rack size; intra-rack links are faster than inter-rack links.
     intra_rack_bandwidth_mbps / inter_rack_bandwidth_mbps:
@@ -44,6 +75,7 @@ class ClusterSpec:
     node_count: int = 16
     node_capacity: Sequence[float] = (1.0, 1.0, 1.0)
     dimensions: Sequence[str] = DEFAULT_DIMENSIONS
+    node_classes: Optional[Sequence[NodeClass]] = None
     nodes_per_rack: int = 24
     intra_rack_bandwidth_mbps: float = 1000.0
     inter_rack_bandwidth_mbps: float = 500.0
@@ -53,6 +85,15 @@ class ClusterSpec:
     name: str = "cluster"
 
     def __post_init__(self) -> None:
+        if self.node_classes:
+            self.node_classes = list(self.node_classes)
+            for node_class in self.node_classes:
+                if len(node_class.capacity) != len(self.dimensions):
+                    raise ValueError(
+                        f"node class {node_class.name!r} capacity dimensionality "
+                        f"{len(node_class.capacity)} does not match {len(self.dimensions)}"
+                    )
+            self.node_count = sum(node_class.count for node_class in self.node_classes)
         if self.node_count <= 0:
             raise ValueError("node_count must be positive")
         if self.nodes_per_rack <= 0:
@@ -134,20 +175,31 @@ def build_cluster(spec: ClusterSpec, rng: Optional[np.random.Generator] = None) 
     """Materialize a :class:`ClusterTopology` from a :class:`ClusterSpec`."""
     if spec.heterogeneity > 0 and rng is None:
         raise ValueError("heterogeneous clusters require an rng")
-    power_model = LinearPowerModel(p_idle=spec.p_idle, p_max=spec.p_max)
-    base = np.asarray(spec.node_capacity, dtype=float)
+    # One (capacity, power model) blueprint per node, in index order: either a
+    # single class covering the whole cluster or the declared class slices.
+    blueprints: List[tuple] = []
+    if spec.node_classes:
+        for node_class in spec.node_classes:
+            model = LinearPowerModel(p_idle=node_class.p_idle, p_max=node_class.p_max)
+            base = np.asarray(node_class.capacity, dtype=float)
+            blueprints.extend((base, model, node_class.name) for _ in range(node_class.count))
+    else:
+        model = LinearPowerModel(p_idle=spec.p_idle, p_max=spec.p_max)
+        base = np.asarray(spec.node_capacity, dtype=float)
+        blueprints = [(base, model, None)] * spec.node_count
     nodes: List[PhysicalNode] = []
-    for index in range(spec.node_count):
+    for index, (base, power_model, class_name) in enumerate(blueprints):
         capacity = base.copy()
         if spec.heterogeneity > 0:
             capacity = capacity * (1.0 + rng.uniform(-spec.heterogeneity, spec.heterogeneity))
-        nodes.append(
-            PhysicalNode(
-                f"{spec.name}-node-{index:03d}",
-                capacity=ResourceVector(capacity, tuple(spec.dimensions)),
-                power_model=power_model,
-            )
+        node = PhysicalNode(
+            f"{spec.name}-node-{index:03d}",
+            capacity=ResourceVector(capacity, tuple(spec.dimensions)),
+            power_model=power_model,
         )
+        if class_name is not None:
+            node.node_class = class_name
+        nodes.append(node)
 
     graph = nx.Graph()
     for index, node in enumerate(nodes):

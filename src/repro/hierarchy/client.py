@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from repro.cluster.vm import VirtualMachine
+from repro.cluster.vm import VirtualMachine, VMState
 from repro.hierarchy.config import HierarchyConfig
 from repro.metrics.recorder import EventLog
 from repro.network.rpc import RpcChannel
@@ -152,6 +152,27 @@ class SnoozeClient:
     def placed_count(self) -> int:
         """Number of submissions that ended with a successful placement."""
         return sum(1 for record in self.records if record.placed)
+
+    def departed_count(self) -> int:
+        """Placed VMs whose lifetime elapsed and whose resources were released.
+
+        The Local Controller hosting a VM releases it when its runtime expires
+        (emitting a ``vm_departed`` event); the client observes the departure
+        through the shared VM object, exactly like a user polling VM status.
+        """
+        return sum(
+            1 for record in self.records if record.placed and record.vm.state is VMState.FINISHED
+        )
+
+    def failed_vm_count(self) -> int:
+        """Placed VMs lost to a Local Controller failure (paper Section II.E)."""
+        return sum(
+            1 for record in self.records if record.placed and record.vm.state is VMState.FAILED
+        )
+
+    def active_vm_count(self) -> int:
+        """Placed VMs still occupying resources (running or migrating)."""
+        return sum(1 for record in self.records if record.placed and record.vm.is_active)
 
     def rejected_count(self) -> int:
         """Number of completed submissions that were rejected."""

@@ -219,6 +219,12 @@ class LocalController(Component):
         self._detect_anomalies(report)
 
     def _reap_finished_vms(self) -> None:
+        """Backstop sweep for expired VMs the departure timer missed.
+
+        The precise per-VM timer scheduled at start covers the common case;
+        this sweep catches VMs that migrated onto this node (their timer lives
+        on the source LC and no-ops there once the VM has left).
+        """
         for vm in self.node.vms:
             if (
                 vm.runtime is not None
@@ -226,9 +232,29 @@ class LocalController(Component):
                 and self.sim.now - vm.start_time >= vm.runtime
                 and vm.state is VMState.RUNNING
             ):
-                self.node.remove_vm(vm, self.sim.now)
-                vm.mark_finished(self.sim.now)
-                self.log_event("vm_finished", vm=vm.name)
+                self._depart_vm(vm)
+
+    def _depart_vm(self, vm: VirtualMachine) -> None:
+        """Release a VM whose lifetime expired: free resources, emit the event.
+
+        Called by the exact-expiry timer set when the VM starts and by the
+        monitoring-tick backstop.  No-ops unless the VM is still running here
+        (it may have migrated away, been terminated, or been lost to an LC
+        failure in the meantime).
+        """
+        if not self.is_running or not self.node.hosts_vm(vm) or vm.state is not VMState.RUNNING:
+            return
+        if vm.runtime is None or vm.start_time is None or self.sim.now - vm.start_time < vm.runtime:
+            return
+        self.node.remove_vm(vm, self.sim.now)
+        vm.mark_finished(self.sim.now)
+        self.monitor.untrack_vm(vm)
+        self.log_event(
+            "vm_departed",
+            vm=vm.name,
+            node_id=self.node.node_id,
+            lifetime=vm.runtime,
+        )
 
     def _detect_anomalies(self, report: dict) -> None:
         if self.assigned_gm is None:
@@ -270,6 +296,12 @@ class LocalController(Component):
             return {"accepted": False, "reason": "insufficient capacity"}
         self.node.place_vm(vm, now=self.sim.now)
         self.monitor.track_vm(vm)
+        if vm.runtime is not None:
+            # Exact-expiry departure so churn does not quantize to the
+            # monitoring interval (remaining = runtime minus time already run,
+            # e.g. zero remaining after a failed-then-recovered placement).
+            elapsed = self.sim.now - vm.start_time if vm.start_time is not None else 0.0
+            self.sim.schedule(max(vm.runtime - elapsed, 0.0), self._depart_vm, vm)
         self.log_event("vm_started", vm=vm.name)
         return {"accepted": True, "node_id": self.node.node_id}
 

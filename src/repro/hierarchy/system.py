@@ -287,6 +287,27 @@ class SnoozeSystem:
                 return
         raise KeyError(f"unknown component {name!r}")
 
+    # -------------------------------------------------------- runtime control
+    def set_thresholds(self, underload: float, overload: float) -> None:
+        """Change the overload/underload thresholds of a live deployment.
+
+        The scenario engine uses this for scripted administrator actions.
+        ``HierarchyConfig.thresholds`` is shared by every Local Controller, but
+        Group Managers copy the object into their relocation/reconfiguration
+        policies at construction, so those references are updated too.
+        """
+        from repro.scheduling.thresholds import UtilizationThresholds
+
+        thresholds = UtilizationThresholds(underload=underload, overload=overload)
+        self.config.thresholds = thresholds
+        for group_manager in self.group_managers.values():
+            group_manager.overload_policy.thresholds = thresholds
+            group_manager.underload_policy.thresholds = thresholds
+            group_manager.reconfiguration_policy.thresholds = thresholds
+        self.event_log.record(
+            self.sim.now, "thresholds_changed", underload=underload, overload=overload
+        )
+
     # ----------------------------------------------------------------- report
     def energy_report(self) -> EnergyReport:
         """Cluster energy consumed so far."""
@@ -305,6 +326,8 @@ class SnoozeSystem:
             "submissions": len(self.client.records),
             "placed": self.client.placed_count(),
             "rejected": self.client.rejected_count(),
+            "vms_departed": self.client.departed_count(),
+            "vms_failed": self.client.failed_vm_count(),
             "mean_submission_latency": self.client.mean_latency(),
             "migrations_completed": self.migration_executor.stats.completed,
             "network": self.network.stats(),

@@ -1,0 +1,279 @@
+"""The named scenario catalog and its registry.
+
+Scenarios register a zero-argument factory under a unique name; the factory
+returns a fresh :class:`~repro.scenarios.spec.ScenarioSpec` each call so
+callers can mutate their copy freely.  The CLI (``repro-sim scenario``), the
+examples and the stress tests all resolve scenarios through this registry.
+
+Catalog sizing note: entries are deliberately small (8-16 hosts, one to two
+simulated hours) so that every entry runs in seconds on a laptop; scale knobs
+(``local_controllers``, ``duration``, phase ``vm_count``) are plain data, so a
+caller can dial any of them up via ``ScenarioSpec.from_dict`` overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from repro.cluster.topology import NodeClass
+from repro.scenarios.spec import ScenarioSpec, TimelineEvent, WorkloadPhase
+
+_REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register_scenario(factory: Callable[[], ScenarioSpec]) -> Callable[[], ScenarioSpec]:
+    """Register a scenario factory under the name of the spec it produces.
+
+    Usable as a decorator.  The factory is invoked once at registration to
+    validate the spec and learn its name; duplicate names are rejected.
+    """
+    spec = factory()
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = factory
+    return factory
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """A fresh spec for ``name``; raises ``KeyError`` with suggestions if unknown."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+    return factory()
+
+
+def iter_scenarios() -> Iterator[ScenarioSpec]:
+    """Fresh specs for every catalog entry, in name order."""
+    for name in scenario_names():
+        yield get_scenario(name)
+
+
+# --------------------------------------------------------------------- catalog
+@register_scenario
+def _diurnal_datacenter() -> ScenarioSpec:
+    """Day/night load with energy management suspending the idle valley."""
+    return ScenarioSpec(
+        name="diurnal-datacenter",
+        description=(
+            "A datacenter under compressed day/night load: diurnal CPU traces, "
+            "idle-host suspend enabled, so the night valley powers hosts down."
+        ),
+        duration=7200.0,
+        local_controllers=16,
+        group_managers=2,
+        config={
+            "monitoring_interval": 30.0,
+            "summary_interval": 30.0,
+            "energy_sample_interval": 120.0,
+            "power_manager": {
+                "enabled": True,
+                "idle_time_threshold": 300.0,
+                "check_interval": 120.0,
+                "min_powered_on_hosts": 2,
+            },
+        },
+        phases=[
+            WorkloadPhase(
+                name="tenants",
+                vm_count=24,
+                arrival={"kind": "batch", "at": 0.0},
+                demand={"kind": "uniform", "low": 0.15, "high": 0.35},
+                trace={
+                    "kind": "diurnal",
+                    "base": 0.1,
+                    "peak": 0.85,
+                    "period": 3600.0,
+                    "peak_time": 1800.0,
+                },
+            )
+        ],
+    )
+
+
+@register_scenario
+def _flash_crowd() -> ScenarioSpec:
+    """A quiet cluster hit by a short, sharp burst of short-lived VMs."""
+    return ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "Baseline tenants, then a flash crowd: 40 short-lived VMs arrive "
+            "within five minutes and drain away, stressing placement latency."
+        ),
+        duration=3600.0,
+        local_controllers=12,
+        group_managers=2,
+        phases=[
+            WorkloadPhase(
+                name="baseline",
+                vm_count=8,
+                arrival={"kind": "batch", "at": 0.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.5},
+            ),
+            WorkloadPhase(
+                name="crowd",
+                vm_count=40,
+                start=900.0,
+                arrival={"kind": "uniform", "start": 0.0, "window": 300.0},
+                demand={"kind": "uniform", "low": 0.05, "high": 0.15},
+                trace={"kind": "constant", "level": 0.9},
+                lifetime={"kind": "fixed", "seconds": 600.0},
+            ),
+        ],
+    )
+
+
+@register_scenario
+def _steady_churn() -> ScenarioSpec:
+    """Continuous arrivals and departures at equilibrium."""
+    return ScenarioSpec(
+        name="steady-churn",
+        description=(
+            "Poisson arrivals with exponential lifetimes: the cluster sits in "
+            "a churn equilibrium where VMs constantly come and go."
+        ),
+        duration=3600.0,
+        local_controllers=8,
+        group_managers=2,
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=60,
+                arrival={"kind": "poisson", "rate_per_hour": 240.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.7},
+                lifetime={"kind": "exponential", "mean": 600.0, "minimum": 60.0},
+            )
+        ],
+    )
+
+
+@register_scenario
+def _rolling_node_failures() -> ScenarioSpec:
+    """Local Controllers crash one after another, then come back."""
+    return ScenarioSpec(
+        name="rolling-node-failures",
+        description=(
+            "A rolling outage: three Local Controllers fail in sequence "
+            "(losing their VMs, paper Section II.E) and later recover."
+        ),
+        duration=3600.0,
+        local_controllers=8,
+        group_managers=2,
+        phases=[
+            WorkloadPhase(
+                name="tenants",
+                vm_count=16,
+                arrival={"kind": "batch", "at": 0.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.6},
+            )
+        ],
+        timeline=[
+            TimelineEvent(at=600.0, action="kill_lc", params={"name": "lc-001"}),
+            TimelineEvent(at=1200.0, action="kill_lc", params={"name": "lc-002"}),
+            TimelineEvent(at=1800.0, action="kill_lc", params={"name": "lc-003"}),
+            TimelineEvent(at=2400.0, action="recover", params={"name": "lc-001"}),
+            TimelineEvent(at=2700.0, action="recover", params={"name": "lc-002"}),
+            TimelineEvent(at=3000.0, action="recover", params={"name": "lc-003"}),
+        ],
+    )
+
+
+@register_scenario
+def _heterogeneous_fleet() -> ScenarioSpec:
+    """Three hardware generations under churn."""
+    return ScenarioSpec(
+        name="heterogeneous-fleet",
+        description=(
+            "A mixed fleet (big-memory, standard and efficient nodes) serving "
+            "medium-lived VMs; packing must respect per-class capacities."
+        ),
+        duration=3600.0,
+        group_managers=2,
+        node_classes=[
+            NodeClass(name="bigmem", count=4, capacity=(1.5, 2.0, 1.0), p_idle=200.0, p_max=300.0),
+            NodeClass(name="standard", count=8, capacity=(1.0, 1.0, 1.0)),
+            NodeClass(
+                name="efficient", count=4, capacity=(0.8, 0.8, 1.0), p_idle=120.0, p_max=180.0
+            ),
+        ],
+        phases=[
+            WorkloadPhase(
+                name="mixed-tenants",
+                vm_count=30,
+                arrival={"kind": "poisson", "rate_per_hour": 360.0},
+                demand={"kind": "correlated", "low": 0.1, "high": 0.5, "rho": 0.7},
+                trace={"kind": "constant", "level": 0.8},
+                lifetime={"kind": "uniform", "low": 900.0, "high": 2400.0},
+            )
+        ],
+    )
+
+
+@register_scenario
+def _trace_replay() -> ScenarioSpec:
+    """Replay an explicit utilization series against relocation thresholds."""
+    # A two-peak hour: idle shoulders, a morning spike and an afternoon
+    # plateau above the overload threshold (0.85) to trigger relocations.
+    times = [float(t) for t in range(0, 3600, 300)]
+    values = [0.2, 0.3, 0.5, 0.9, 0.95, 0.6, 0.4, 0.3, 0.7, 0.9, 0.85, 0.4]
+    return ScenarioSpec(
+        name="trace-replay",
+        description=(
+            "Every VM replays the same recorded utilization series (looped), "
+            "the hook for driving scenarios from real production traces."
+        ),
+        duration=3600.0,
+        local_controllers=8,
+        group_managers=2,
+        config={"monitoring_interval": 30.0},
+        phases=[
+            WorkloadPhase(
+                name="replayed",
+                vm_count=12,
+                arrival={"kind": "batch", "at": 0.0},
+                demand={"kind": "uniform", "low": 0.2, "high": 0.4},
+                trace={"kind": "replay", "times": times, "values": values, "loop": True},
+            )
+        ],
+    )
+
+
+@register_scenario
+def _leader_crash_under_load() -> ScenarioSpec:
+    """Kill the Group Leader mid-churn, then tighten thresholds."""
+    return ScenarioSpec(
+        name="leader-crash-under-load",
+        description=(
+            "Churn workload with a Group Leader crash mid-run and a scripted "
+            "administrator threshold change afterwards; tests self-healing."
+        ),
+        duration=2700.0,
+        local_controllers=12,
+        group_managers=3,
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=24,
+                arrival={"kind": "poisson", "rate_per_hour": 120.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.35},
+                trace={"kind": "constant", "level": 0.7},
+                lifetime={"kind": "exponential", "mean": 900.0, "minimum": 120.0},
+            )
+        ],
+        timeline=[
+            TimelineEvent(at=900.0, action="kill_leader"),
+            TimelineEvent(
+                at=1800.0, action="set_thresholds", params={"underload": 0.3, "overload": 0.75}
+            ),
+        ],
+    )

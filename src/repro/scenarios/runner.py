@@ -1,0 +1,215 @@
+"""Compile a :class:`ScenarioSpec` into a run and collect a structured result.
+
+The runner is the single substrate every scenario goes through:
+
+1. build a :class:`~repro.hierarchy.system.SnoozeSystem` from the spec (cluster
+   shape, hierarchy sizing, configuration overrides) and let it settle;
+2. generate every workload phase from its own named random stream and schedule
+   the submissions at their arrival times;
+3. schedule the scripted timeline events (failures, recoveries, leader kills,
+   threshold changes);
+4. run for the scenario duration and fold the recorders into a
+   :class:`ScenarioResult` with energy, SLA, packing, churn and availability
+   metrics.
+
+Results are deliberately free of wall-clock quantities so that the same spec
+and seed produce byte-identical JSON across runs (the determinism contract the
+test suite enforces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hierarchy.system import SnoozeSystem
+from repro.scenarios.spec import ScenarioSpec, TimelineEvent
+
+#: Priority of scenario submissions relative to timeline events at equal times
+#: is resolved by scheduling order, which is deterministic (phases first).
+
+
+@dataclass
+class ScenarioResult:
+    """Structured outcome of one scenario run (JSON-safe, wall-clock free)."""
+
+    scenario: str
+    seed: int
+    duration: float
+    #: Submission/SLA view: counts and client-observed latency.
+    submissions: Dict[str, float] = field(default_factory=dict)
+    #: VM lifecycle churn: departures, failures, still-active counts.
+    churn: Dict[str, float] = field(default_factory=dict)
+    #: Packing quality: host usage over time (means are time-weighted).
+    packing: Dict[str, float] = field(default_factory=dict)
+    #: Energy drawn by the infrastructure (computation energy is excluded:
+    #: it is charged from wall-clock algorithm runtime and would break
+    #: run-to-run determinism).
+    energy: Dict[str, float] = field(default_factory=dict)
+    #: Hierarchy availability: elections, failures, recoveries, migrations.
+    availability: Dict[str, object] = field(default_factory=dict)
+    #: Raw event counts by category, for deeper digging.
+    event_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-data form."""
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON (sorted keys) -- byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+class ScenarioRunner:
+    """Run one :class:`ScenarioSpec` against a freshly built deployment."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int = 0,
+        duration: Optional[float] = None,
+        record_interval: Optional[float] = None,
+    ) -> None:
+        if duration is not None and duration <= 0:
+            raise ValueError("duration override must be positive")
+        if duration is not None:
+            dropped = [event for event in spec.timeline if event.at > duration]
+            if dropped:
+                raise ValueError(
+                    f"duration override {duration} would drop {len(dropped)} timeline "
+                    f"event(s) (first at t={min(event.at for event in dropped)}); "
+                    "shorten the spec's timeline instead"
+                )
+        self.spec = spec
+        self.seed = int(seed)
+        self.duration = float(duration) if duration is not None else float(spec.duration)
+        self.record_interval = (
+            float(record_interval) if record_interval is not None else float(spec.record_interval)
+        )
+        self.system: Optional[SnoozeSystem] = None
+
+    # ----------------------------------------------------------------- wiring
+    def build_system(self) -> SnoozeSystem:
+        """Construct (but do not start) the deployment described by the spec."""
+        return SnoozeSystem(
+            self.spec.system_spec(),
+            config=self.spec.hierarchy_config(self.seed),
+            seed=self.seed,
+        )
+
+    def _schedule_phases(self, system: SnoozeSystem, base: float) -> None:
+        for index, phase in enumerate(self.spec.phases):
+            generator = phase.build_generator()
+            stream = system.random.stream(f"scenario:{self.spec.name}:phase{index}:{phase.name}")
+            for request in generator.generate(phase.vm_count, stream):
+                system.sim.schedule_at(
+                    base + phase.start + request.arrival_time, system.client.submit, request.vm
+                )
+
+    def _schedule_timeline(self, system: SnoozeSystem, base: float) -> None:
+        for event in self.spec.timeline:
+            system.sim.schedule_at(base + event.at, self._apply_event, system, event)
+
+    @staticmethod
+    def _apply_event(system: SnoozeSystem, event: TimelineEvent) -> None:
+        if event.action == "kill_leader":
+            system.kill_group_leader()
+        elif event.action == "kill_gm":
+            system.kill_group_manager(str(event.params["name"]))
+        elif event.action == "kill_lc":
+            system.kill_local_controller(str(event.params["name"]))
+        elif event.action == "recover":
+            system.recover_component(str(event.params["name"]))
+        elif event.action == "set_thresholds":
+            system.set_thresholds(
+                underload=float(event.params["underload"]),
+                overload=float(event.params["overload"]),
+            )
+        else:  # pragma: no cover - spec validation rejects unknown actions
+            raise ValueError(f"unknown timeline action {event.action!r}")
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and return its structured result."""
+        system = self.build_system()
+        self.system = system
+        system.start()
+        recorder = system.enable_recording(interval=self.record_interval)
+        base = system.sim.now
+        self._schedule_phases(system, base)
+        self._schedule_timeline(system, base)
+        system.run(self.duration)
+        recorder.sample_all()
+        return self._collect(system)
+
+    def _collect(self, system: SnoozeSystem) -> ScenarioResult:
+        client = system.client
+        log = system.event_log
+        recorder = system.recorder
+        active = recorder.series("active_hosts")
+        powered = recorder.series("powered_on_hosts")
+        running = recorder.series("running_vms")
+        energy = system.energy_report()
+        horizon = max(energy.horizon_seconds, 1e-9)
+        return ScenarioResult(
+            scenario=self.spec.name,
+            seed=self.seed,
+            duration=self.duration,
+            submissions={
+                "submitted": len(client.records),
+                "placed": client.placed_count(),
+                "rejected": client.rejected_count(),
+                "pending": client.pending_count(),
+                "mean_latency_seconds": client.mean_latency(),
+            },
+            churn={
+                "departed": client.departed_count(),
+                "failed": client.failed_vm_count(),
+                "active_at_end": client.active_vm_count(),
+                "departure_events": log.count("vm_departed"),
+            },
+            packing={
+                "nodes": len(system.topology),
+                "mean_active_hosts": active.time_weighted_mean(),
+                "peak_active_hosts": active.max(),
+                "final_active_hosts": float(system.active_host_count()),
+                "mean_powered_on_hosts": powered.time_weighted_mean(),
+                "final_powered_on_hosts": float(system.powered_on_count()),
+                "mean_running_vms": running.time_weighted_mean(),
+                "peak_running_vms": running.max(),
+            },
+            energy={
+                "infrastructure_kwh": energy.infrastructure_energy_joules / 3.6e6,
+                "transition_kwh": energy.transition_energy_joules / 3.6e6,
+                "mean_power_watts": energy.infrastructure_energy_joules / horizon,
+            },
+            availability={
+                "leader_at_end": system.current_leader(),
+                "elections": log.count("elected_group_leader"),
+                "failures_injected": log.count("failure_injected"),
+                "recoveries": log.count("component_recovered"),
+                "group_managers_running": sum(
+                    1 for gm in system.group_managers.values() if gm.is_running
+                ),
+                "local_controllers_assigned": system.assigned_lc_count(),
+                "migrations_completed": system.migration_executor.stats.completed,
+                "relocations": log.count("relocation"),
+                "overload_events": log.count("overload_detected"),
+                "underload_events": log.count("underload_detected"),
+            },
+            event_counts={category: log.count(category) for category in log.categories()},
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    duration: Optional[float] = None,
+    record_interval: Optional[float] = None,
+) -> ScenarioResult:
+    """One-call convenience wrapper around :class:`ScenarioRunner`."""
+    return ScenarioRunner(
+        spec, seed=seed, duration=duration, record_interval=record_interval
+    ).run()

@@ -1,0 +1,307 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a complete, serializable description of one
+experiment against a Snooze deployment:
+
+* the **cluster shape**: how many Local Controllers, Group Managers and Entry
+  Points, optionally a heterogeneous fleet of :class:`NodeClass` slices;
+* **configuration overrides** for :class:`~repro.hierarchy.config.HierarchyConfig`
+  (scheduling policies, thresholds, energy management, intervals);
+* **workload phases**: each phase names an arrival process, a demand
+  distribution, a per-VM utilization trace and a VM lifetime distribution, all
+  as ``{"kind": ..., **params}`` dictionaries compiled through the factories
+  in :mod:`repro.workloads`;
+* a scripted **event timeline**: component failures and recoveries, Group
+  Leader kills and administrator threshold changes at fixed simulated times.
+
+Specs round-trip losslessly through :meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict` (and therefore through JSON), which is what
+makes the catalog listable, diffable and replayable from the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec, NodeClass
+from repro.energy.power_manager import PowerManagerConfig
+from repro.hierarchy.config import HierarchyConfig
+from repro.hierarchy.system import SystemSpec
+from repro.network.transport import NetworkConfig
+from repro.scheduling.thresholds import UtilizationThresholds
+from repro.workloads.distributions import make_distribution
+from repro.workloads.generator import WorkloadGenerator, make_arrival, make_lifetime
+from repro.workloads.traces import make_trace_factory
+
+#: Actions a timeline event may script against a running deployment.
+TIMELINE_ACTIONS = frozenset(
+    {"kill_leader", "kill_gm", "kill_lc", "recover", "set_thresholds"}
+)
+
+
+def _compile_kind(table_name: str, factory, params: Dict[str, object]):
+    """Split a ``{"kind": ..., **params}`` dict and run it through ``factory``."""
+    if "kind" not in params:
+        raise ValueError(f"{table_name} spec needs a 'kind' key, got {params!r}")
+    kwargs = {key: value for key, value in params.items() if key != "kind"}
+    return factory(str(params["kind"]), **kwargs)
+
+
+@dataclass
+class WorkloadPhase:
+    """One workload phase: who arrives when, how big, how busy, how long-lived.
+
+    ``start`` offsets the whole phase relative to scenario time zero (after the
+    hierarchy has settled); arrival times produced by the arrival process are
+    relative to the phase start.
+    """
+
+    name: str
+    vm_count: int
+    start: float = 0.0
+    arrival: Dict[str, object] = field(default_factory=lambda: {"kind": "batch", "at": 0.0})
+    demand: Dict[str, object] = field(
+        default_factory=lambda: {"kind": "uniform", "low": 0.1, "high": 0.4}
+    )
+    trace: Dict[str, object] = field(default_factory=lambda: {"kind": "constant", "level": 1.0})
+    lifetime: Dict[str, object] = field(default_factory=lambda: {"kind": "infinite"})
+
+    def __post_init__(self) -> None:
+        if self.vm_count < 0:
+            raise ValueError("vm_count must be non-negative")
+        if self.start < 0:
+            raise ValueError("phase start must be non-negative")
+        # Compile once now so a bad kind/parameter fails at spec construction,
+        # not mid-run; the result is discarded (generators are rebuilt per run).
+        self.build_generator()
+
+    def build_generator(self) -> WorkloadGenerator:
+        """Compile the declarative pieces into a :class:`WorkloadGenerator`."""
+        trace_factory = _compile_kind("trace", make_trace_factory, self.trace)
+        # Probe the trace factory so bad trace parameters surface immediately.
+        trace_factory(np.random.default_rng(0))
+        return WorkloadGenerator(
+            demand_distribution=_compile_kind(
+                "demand", lambda kind, **kw: make_distribution(kind, **kw), self.demand
+            ),
+            arrival_process=_compile_kind("arrival", make_arrival, self.arrival),
+            trace_factory=trace_factory,
+            lifetime_distribution=_compile_kind("lifetime", make_lifetime, self.lifetime),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe)."""
+        return {
+            "name": self.name,
+            "vm_count": self.vm_count,
+            "start": self.start,
+            "arrival": dict(self.arrival),
+            "demand": dict(self.demand),
+            "trace": dict(self.trace),
+            "lifetime": dict(self.lifetime),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadPhase":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            vm_count=int(data["vm_count"]),
+            start=float(data.get("start", 0.0)),
+            arrival=dict(data.get("arrival", {"kind": "batch", "at": 0.0})),
+            demand=dict(data.get("demand", {"kind": "uniform", "low": 0.1, "high": 0.4})),
+            trace=dict(data.get("trace", {"kind": "constant", "level": 1.0})),
+            lifetime=dict(data.get("lifetime", {"kind": "infinite"})),
+        )
+
+
+@dataclass
+class TimelineEvent:
+    """A scripted action against the running deployment at simulated time ``at``.
+
+    Actions and their parameters:
+
+    * ``kill_leader`` -- crash whichever Group Manager currently leads.
+    * ``kill_gm`` / ``kill_lc`` -- crash a named component (``{"name": ...}``).
+    * ``recover`` -- recover a previously failed component (``{"name": ...}``).
+    * ``set_thresholds`` -- administrator threshold change
+      (``{"underload": ..., "overload": ...}``).
+    """
+
+    at: float
+    action: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("event time must be non-negative")
+        if self.action not in TIMELINE_ACTIONS:
+            raise ValueError(
+                f"unknown timeline action {self.action!r}; choose from {sorted(TIMELINE_ACTIONS)}"
+            )
+        if self.action in ("kill_gm", "kill_lc", "recover") and "name" not in self.params:
+            raise ValueError(f"action {self.action!r} needs a 'name' parameter")
+        if self.action == "set_thresholds":
+            missing = {"underload", "overload"} - set(self.params)
+            if missing:
+                raise ValueError(f"set_thresholds needs parameters {sorted(missing)}")
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe)."""
+        return {"at": self.at, "action": self.action, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimelineEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            at=float(data["at"]),
+            action=str(data["action"]),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete declarative scenario (cluster + config + workload + timeline)."""
+
+    name: str
+    description: str = ""
+    #: Simulated seconds to run after the hierarchy has settled.
+    duration: float = 3600.0
+    local_controllers: int = 16
+    group_managers: int = 2
+    entry_points: int = 1
+    #: Heterogeneous fleet; empty means a homogeneous cluster of unit hosts.
+    #: When given, ``local_controllers`` is forced to the sum of class counts.
+    node_classes: List[NodeClass] = field(default_factory=list)
+    nodes_per_rack: int = 24
+    #: Random +-fraction jitter applied to node capacities (0 = exact).
+    heterogeneity: float = 0.0
+    #: Flat :class:`HierarchyConfig` overrides; the nested keys ``thresholds``,
+    #: ``power_manager`` and ``network`` take parameter dictionaries.
+    config: Dict[str, object] = field(default_factory=dict)
+    phases: List[WorkloadPhase] = field(default_factory=list)
+    timeline: List[TimelineEvent] = field(default_factory=list)
+    #: Sampling interval of the time-series recorder attached to every run.
+    record_interval: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.record_interval <= 0:
+            raise ValueError("record_interval must be positive")
+        if self.node_classes:
+            self.local_controllers = sum(nc.count for nc in self.node_classes)
+        if self.local_controllers <= 0:
+            raise ValueError("need at least one local controller")
+        for event in self.timeline:
+            if event.at > self.duration:
+                raise ValueError(
+                    f"timeline event at t={event.at} lies beyond duration {self.duration}"
+                )
+        unknown = set(self.config) - {f.name for f in dataclasses.fields(HierarchyConfig)}
+        if unknown:
+            raise ValueError(f"unknown HierarchyConfig overrides: {sorted(unknown)}")
+        if "seed" in self.config:
+            raise ValueError(
+                "'seed' cannot be a config override: the run seed is supplied to "
+                "ScenarioRunner so one spec can be replayed under many seeds"
+            )
+
+    # ------------------------------------------------------------- compilation
+    def cluster_spec(self) -> ClusterSpec:
+        """The cluster to build for this scenario."""
+        return ClusterSpec(
+            node_count=self.local_controllers,
+            node_classes=list(self.node_classes) or None,
+            nodes_per_rack=self.nodes_per_rack,
+            heterogeneity=self.heterogeneity,
+            name=self.name,
+        )
+
+    def system_spec(self) -> SystemSpec:
+        """Deployment sizing for :class:`~repro.hierarchy.system.SnoozeSystem`."""
+        return SystemSpec(
+            local_controllers=self.local_controllers,
+            group_managers=self.group_managers,
+            entry_points=self.entry_points,
+            cluster=self.cluster_spec(),
+        )
+
+    def hierarchy_config(self, seed: int) -> HierarchyConfig:
+        """Materialize the configuration overrides into a fresh config."""
+        kwargs: Dict[str, object] = dict(self.config)
+        if "thresholds" in kwargs:
+            kwargs["thresholds"] = UtilizationThresholds(**kwargs["thresholds"])
+        if "power_manager" in kwargs:
+            kwargs["power_manager"] = PowerManagerConfig(**kwargs["power_manager"])
+        if "network" in kwargs:
+            kwargs["network"] = NetworkConfig(**kwargs["network"])
+        kwargs["seed"] = int(seed)
+        return HierarchyConfig(**kwargs)
+
+    # ----------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-data form; ``ScenarioSpec.from_dict(spec.to_dict()) == spec``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "duration": self.duration,
+            "local_controllers": self.local_controllers,
+            "group_managers": self.group_managers,
+            "entry_points": self.entry_points,
+            "node_classes": [
+                {
+                    "name": nc.name,
+                    "count": nc.count,
+                    "capacity": list(nc.capacity),
+                    "p_idle": nc.p_idle,
+                    "p_max": nc.p_max,
+                }
+                for nc in self.node_classes
+            ],
+            "nodes_per_rack": self.nodes_per_rack,
+            "heterogeneity": self.heterogeneity,
+            "config": dict(self.config),
+            "phases": [phase.to_dict() for phase in self.phases],
+            "timeline": [event.to_dict() for event in self.timeline],
+            "record_interval": self.record_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dictionaries)."""
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            duration=float(data.get("duration", 3600.0)),
+            local_controllers=int(data.get("local_controllers", 16)),
+            group_managers=int(data.get("group_managers", 2)),
+            entry_points=int(data.get("entry_points", 1)),
+            node_classes=[
+                NodeClass(
+                    name=str(nc["name"]),
+                    count=int(nc["count"]),
+                    capacity=tuple(float(v) for v in nc.get("capacity", (1.0, 1.0, 1.0))),
+                    p_idle=float(nc.get("p_idle", 170.0)),
+                    p_max=float(nc.get("p_max", 250.0)),
+                )
+                for nc in data.get("node_classes", [])
+            ],
+            nodes_per_rack=int(data.get("nodes_per_rack", 24)),
+            heterogeneity=float(data.get("heterogeneity", 0.0)),
+            config=dict(data.get("config", {})),
+            phases=[WorkloadPhase.from_dict(phase) for phase in data.get("phases", [])],
+            timeline=[TimelineEvent.from_dict(event) for event in data.get("timeline", [])],
+            record_interval=float(data.get("record_interval", 60.0)),
+        )
+
+    def total_vms(self) -> int:
+        """Total VMs submitted across all phases."""
+        return sum(phase.vm_count for phase in self.phases)

@@ -29,14 +29,23 @@ from repro.workloads.traces import (
     SpikeTrace,
     TraceReplay,
     UtilizationTrace,
+    make_trace_factory,
 )
 from repro.workloads.generator import (
     ArrivalProcess,
     BatchArrival,
+    ExponentialLifetime,
+    FixedLifetime,
+    InfiniteLifetime,
+    LifetimeDistribution,
     PoissonArrival,
+    UniformArrival,
+    UniformLifetime,
     VMRequest,
     WorkloadGenerator,
     consolidation_instance,
+    make_arrival,
+    make_lifetime,
 )
 
 __all__ = [
@@ -53,10 +62,19 @@ __all__ = [
     "SpikeTrace",
     "TraceReplay",
     "CompositeTrace",
+    "make_trace_factory",
     "VMRequest",
     "ArrivalProcess",
     "BatchArrival",
     "PoissonArrival",
+    "UniformArrival",
+    "make_arrival",
+    "LifetimeDistribution",
+    "InfiniteLifetime",
+    "FixedLifetime",
+    "ExponentialLifetime",
+    "UniformLifetime",
+    "make_lifetime",
     "WorkloadGenerator",
     "consolidation_instance",
 ]

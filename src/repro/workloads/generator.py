@@ -48,9 +48,11 @@ class BatchArrival(ArrivalProcess):
 
     at: float = 0.0
 
-    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:  # noqa: ARG002
+    def __post_init__(self) -> None:
         if self.at < 0:
             raise ValueError("batch arrival time must be non-negative")
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:  # noqa: ARG002
         return np.full(count, float(self.at))
 
 
@@ -61,11 +63,134 @@ class PoissonArrival(ArrivalProcess):
     rate_per_hour: float = 60.0
     start: float = 0.0
 
-    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def __post_init__(self) -> None:
         if self.rate_per_hour <= 0:
             raise ValueError("rate_per_hour must be positive")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
         gaps = rng.exponential(3600.0 / self.rate_per_hour, size=count)
         return self.start + np.cumsum(gaps)
+
+
+@dataclass
+class UniformArrival(ArrivalProcess):
+    """Arrivals spread uniformly at random over ``[start, start + window]``.
+
+    A flash crowd is a short window at a high count; a trickle is a long one.
+    """
+
+    start: float = 0.0
+    window: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return np.sort(self.start + rng.uniform(0.0, self.window, size=count))
+
+
+def make_arrival(kind: str, **kwargs) -> ArrivalProcess:
+    """Factory used by the scenario engine (``batch``, ``poisson``, ``uniform``)."""
+    registry = {
+        "batch": BatchArrival,
+        "poisson": PoissonArrival,
+        "uniform": UniformArrival,
+    }
+    try:
+        cls = registry[kind.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown arrival process {kind!r}; choose from {sorted(registry)}") from exc
+    return cls(**kwargs)
+
+
+# --------------------------------------------------------------------- lifetimes
+class LifetimeDistribution:
+    """Base class for VM lifetime (runtime) distributions.
+
+    A lifetime is the seconds a VM runs before departing and releasing its
+    resources; ``None`` means the VM runs until the end of the experiment.
+    Churn scenarios combine an arrival process with a finite lifetime
+    distribution so the cluster sees continuous departures.
+    """
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[Optional[float]]:
+        """Return ``count`` lifetimes in seconds (``None`` = infinite)."""
+        raise NotImplementedError
+
+
+@dataclass
+class InfiniteLifetime(LifetimeDistribution):
+    """VMs never depart -- the seed's one-shot submission behaviour."""
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[Optional[float]]:  # noqa: ARG002
+        return [None] * count
+
+
+@dataclass
+class FixedLifetime(LifetimeDistribution):
+    """Every VM runs exactly ``seconds`` then departs."""
+
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("lifetime seconds must be positive")
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[Optional[float]]:  # noqa: ARG002
+        return [float(self.seconds)] * count
+
+
+@dataclass
+class ExponentialLifetime(LifetimeDistribution):
+    """Memoryless lifetimes with the given ``mean`` (floored at ``minimum``)."""
+
+    mean: float = 3600.0
+    minimum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError("mean lifetime must be positive")
+        if self.minimum < 0:
+            raise ValueError("minimum lifetime must be non-negative")
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[Optional[float]]:
+        draws = rng.exponential(self.mean, size=count)
+        return [float(max(draw, self.minimum)) for draw in draws]
+
+
+@dataclass
+class UniformLifetime(LifetimeDistribution):
+    """Lifetimes drawn uniformly from ``[low, high]`` seconds."""
+
+    low: float = 600.0
+    high: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.low <= self.high):
+            raise ValueError("require 0 < low <= high")
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[Optional[float]]:
+        return [float(draw) for draw in rng.uniform(self.low, self.high, size=count)]
+
+
+def make_lifetime(kind: str, **kwargs) -> LifetimeDistribution:
+    """Factory used by the scenario engine (``infinite``, ``fixed``, ``exponential``, ``uniform``)."""
+    registry = {
+        "infinite": InfiniteLifetime,
+        "fixed": FixedLifetime,
+        "exponential": ExponentialLifetime,
+        "uniform": UniformLifetime,
+    }
+    try:
+        cls = registry[kind.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown lifetime distribution {kind!r}; choose from {sorted(registry)}") from exc
+    return cls(**kwargs)
 
 
 class WorkloadGenerator:
@@ -77,8 +202,11 @@ class WorkloadGenerator:
         arrival_process: Optional[ArrivalProcess] = None,
         trace_factory=None,
         runtime_mean: Optional[float] = None,
+        lifetime_distribution: Optional[LifetimeDistribution] = None,
         dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
     ) -> None:
+        if runtime_mean is not None and lifetime_distribution is not None:
+            raise ValueError("pass either runtime_mean or lifetime_distribution, not both")
         self.demand_distribution = demand_distribution or UniformDemandDistribution(
             dimensions=dimensions
         )
@@ -87,7 +215,14 @@ class WorkloadGenerator:
         #: defaults to a constant full-reservation trace.
         self.trace_factory = trace_factory or (lambda rng: ConstantTrace(1.0))
         #: Mean exponential runtime in seconds (None => VMs run forever).
+        #: Legacy shorthand for ``ExponentialLifetime(mean=runtime_mean)``.
         self.runtime_mean = runtime_mean
+        if lifetime_distribution is not None:
+            self.lifetime_distribution: LifetimeDistribution = lifetime_distribution
+        elif runtime_mean is not None:
+            self.lifetime_distribution = ExponentialLifetime(mean=runtime_mean)
+        else:
+            self.lifetime_distribution = InfiniteLifetime()
         self.dimensions = tuple(dimensions)
 
     def generate(self, count: int, rng: np.random.Generator) -> List[VMRequest]:
@@ -98,11 +233,7 @@ class WorkloadGenerator:
             return []
         demands = self.demand_distribution.sample(count, rng)
         arrivals = self.arrival_process.arrival_times(count, rng)
-        runtimes: List[Optional[float]]
-        if self.runtime_mean is not None:
-            runtimes = list(rng.exponential(self.runtime_mean, size=count))
-        else:
-            runtimes = [None] * count
+        runtimes: List[Optional[float]] = self.lifetime_distribution.sample(count, rng)
         requests = []
         for index in range(count):
             vm = VirtualMachine(

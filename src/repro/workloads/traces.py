@@ -195,6 +195,36 @@ class TraceReplay(UtilizationTrace):
         return float(self.values[index])
 
 
+def make_trace_factory(kind: str, **params):
+    """Build a ``factory(rng) -> UtilizationTrace`` from a trace kind and parameters.
+
+    This is the declarative entry point the scenario engine uses: stochastic
+    traces (``randomwalk``, ``bursty``, noisy ``diurnal``) receive the per-VM
+    rng at construction, deterministic ones ignore it.  Supported kinds:
+    ``constant``, ``diurnal``, ``randomwalk``, ``bursty``, ``spike``,
+    ``replay``.
+    """
+    key = kind.lower()
+    if key == "constant":
+        return lambda rng: ConstantTrace(**params)
+    if key == "diurnal":
+        if params.get("noise_std", 0.0) > 0:
+            return lambda rng: DiurnalTrace(rng=rng, **params)
+        return lambda rng: DiurnalTrace(**params)
+    if key == "randomwalk":
+        return lambda rng: RandomWalkTrace(rng, **params)
+    if key == "bursty":
+        return lambda rng: BurstyTrace(rng, **params)
+    if key == "spike":
+        return lambda rng: SpikeTrace(**params)
+    if key == "replay":
+        return lambda rng: TraceReplay(**params)
+    raise ValueError(
+        f"unknown trace kind {kind!r}; choose from "
+        "['bursty', 'constant', 'diurnal', 'randomwalk', 'replay', 'spike']"
+    )
+
+
 class CompositeTrace(UtilizationTrace):
     """Sum of traces clipped to [0, 1] (e.g. diurnal base + bursts)."""
 

@@ -1,0 +1,249 @@
+"""Tests for the declarative scenario engine (spec, catalog, runner, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.topology import NodeClass
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    TimelineEvent,
+    WorkloadPhase,
+    get_scenario,
+    iter_scenarios,
+    run_scenario,
+    scenario_names,
+)
+from repro.cli.main import main
+
+
+def _small_churn_spec(**overrides) -> ScenarioSpec:
+    """A fast-running churn scenario used by several tests."""
+    base = dict(
+        name="test-churn",
+        description="small churn scenario for tests",
+        duration=600.0,
+        local_controllers=4,
+        group_managers=2,
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=12,
+                arrival={"kind": "poisson", "rate_per_hour": 360.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.6},
+                lifetime={"kind": "exponential", "mean": 120.0, "minimum": 30.0},
+            )
+        ],
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestScenarioSpec:
+    def test_round_trip_through_dict(self):
+        spec = _small_churn_spec(
+            node_classes=[NodeClass(name="std", count=4, capacity=(1.0, 1.0, 1.0))],
+            timeline=[TimelineEvent(at=300.0, action="kill_leader")],
+            config={"monitoring_interval": 5.0},
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_through_json(self):
+        spec = _small_churn_spec()
+        decoded = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert decoded == spec
+
+    def test_node_classes_force_local_controller_count(self):
+        spec = _small_churn_spec(
+            local_controllers=99,
+            node_classes=[
+                NodeClass(name="a", count=2, capacity=(1.0, 1.0, 1.0)),
+                NodeClass(name="b", count=3, capacity=(2.0, 1.0, 1.0)),
+            ],
+        )
+        assert spec.local_controllers == 5
+
+    def test_unknown_config_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown HierarchyConfig overrides"):
+            _small_churn_spec(config={"not_a_knob": 1})
+
+    def test_seed_config_override_rejected(self):
+        with pytest.raises(ValueError, match="'seed' cannot be a config override"):
+            _small_churn_spec(config={"seed": 99})
+
+    def test_invalid_phase_parameters_fail_at_construction(self):
+        with pytest.raises(ValueError, match="lifetime seconds must be positive"):
+            WorkloadPhase(name="bad", vm_count=1, lifetime={"kind": "fixed", "seconds": -1})
+        with pytest.raises(ValueError, match="window must be positive"):
+            WorkloadPhase(name="bad", vm_count=1, arrival={"kind": "uniform", "window": -5})
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            WorkloadPhase(name="bad", vm_count=1, arrival={"kind": "fibonacci"})
+        with pytest.raises(ValueError, match="unknown lifetime distribution"):
+            WorkloadPhase(name="bad", vm_count=1, lifetime={"kind": "bogus"})
+
+    def test_unknown_timeline_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown timeline action"):
+            TimelineEvent(at=0.0, action="reboot_universe")
+
+    def test_timeline_event_beyond_duration_rejected(self):
+        with pytest.raises(ValueError, match="beyond duration"):
+            _small_churn_spec(timeline=[TimelineEvent(at=1e9, action="kill_leader")])
+
+    def test_config_overrides_reach_hierarchy_config(self):
+        spec = _small_churn_spec(
+            config={
+                "monitoring_interval": 5.0,
+                "thresholds": {"underload": 0.3, "overload": 0.7},
+                "power_manager": {"enabled": True, "check_interval": 60.0},
+            }
+        )
+        config = spec.hierarchy_config(seed=42)
+        assert config.seed == 42
+        assert config.monitoring_interval == 5.0
+        assert config.thresholds.overload == 0.7
+        assert config.power_manager.enabled is True
+
+
+class TestCatalog:
+    def test_catalog_has_at_least_six_scenarios(self):
+        assert len(scenario_names()) >= 6
+
+    def test_every_entry_round_trips(self):
+        for spec in iter_scenarios():
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_get_scenario_returns_fresh_specs(self):
+        first = get_scenario("steady-churn")
+        first.duration = 1.0
+        assert get_scenario("steady-churn").duration != 1.0
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="steady-churn"):
+            get_scenario("no-such-scenario")
+
+    def test_catalog_covers_churn_failures_and_heterogeneity(self):
+        specs = {spec.name: spec for spec in iter_scenarios()}
+        assert any(
+            phase.lifetime["kind"] != "infinite"
+            for spec in specs.values()
+            for phase in spec.phases
+        )
+        assert any(spec.timeline for spec in specs.values())
+        assert any(spec.node_classes for spec in specs.values())
+
+
+class TestScenarioRunner:
+    def test_churn_departures_observable_in_result(self):
+        result = run_scenario(_small_churn_spec(), seed=1)
+        assert result.submissions["placed"] > 0
+        assert result.churn["departed"] > 0
+        assert result.churn["departure_events"] == result.churn["departed"]
+
+    def test_same_spec_and_seed_is_byte_identical(self):
+        spec = _small_churn_spec()
+        first = run_scenario(spec, seed=3).to_json()
+        second = run_scenario(_small_churn_spec(), seed=3).to_json()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        spec = _small_churn_spec()
+        assert run_scenario(spec, seed=0).to_json() != run_scenario(spec, seed=99).to_json()
+
+    def test_timeline_failure_and_recovery_applied(self):
+        spec = _small_churn_spec(
+            timeline=[
+                TimelineEvent(at=120.0, action="kill_lc", params={"name": "lc-001"}),
+                TimelineEvent(at=360.0, action="recover", params={"name": "lc-001"}),
+            ]
+        )
+        result = run_scenario(spec, seed=2)
+        assert result.availability["failures_injected"] == 1
+        assert result.availability["recoveries"] == 1
+        assert result.availability["local_controllers_assigned"] == 4
+
+    def test_set_thresholds_event_reaches_config(self):
+        spec = _small_churn_spec(
+            timeline=[
+                TimelineEvent(
+                    at=60.0, action="set_thresholds", params={"underload": 0.35, "overload": 0.75}
+                )
+            ]
+        )
+        runner = ScenarioRunner(spec, seed=0)
+        runner.run()
+        assert runner.system.config.thresholds.overload == 0.75
+        for gm in runner.system.group_managers.values():
+            assert gm.overload_policy.thresholds.overload == 0.75
+        assert runner.system.event_log.count("thresholds_changed") == 1
+
+    def test_heterogeneous_fleet_builds_distinct_capacities(self):
+        spec = _small_churn_spec(
+            node_classes=[
+                NodeClass(name="big", count=2, capacity=(2.0, 2.0, 1.0)),
+                NodeClass(name="small", count=2, capacity=(0.5, 0.5, 1.0)),
+            ]
+        )
+        runner = ScenarioRunner(spec, seed=0)
+        system = runner.build_system()
+        capacities = sorted(node.capacity.values[0] for node in system.topology)
+        assert capacities == [0.5, 0.5, 2.0, 2.0]
+        classes = [node.node_class for node in system.topology]
+        assert classes == ["big", "big", "small", "small"]
+
+    def test_duration_override_shortens_run(self):
+        result = run_scenario(_small_churn_spec(), seed=0, duration=120.0)
+        assert result.duration == 120.0
+
+    def test_duration_override_may_not_drop_timeline_events(self):
+        spec = _small_churn_spec(
+            timeline=[TimelineEvent(at=500.0, action="kill_leader")]
+        )
+        with pytest.raises(ValueError, match="drop 1 timeline event"):
+            ScenarioRunner(spec, seed=0, duration=100.0)
+
+
+class TestScenarioCli:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in output
+
+    def test_list_json(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in entries} == set(scenario_names())
+
+    def test_describe_round_trips(self, capsys):
+        assert main(["scenario", "describe", "steady-churn"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert ScenarioSpec.from_dict(data) == get_scenario("steady-churn")
+
+    def test_run_json_reports_churn(self, capsys):
+        assert (
+            main(["scenario", "run", "steady-churn", "--seed", "0", "--duration", "600", "--json"])
+            == 0
+        )
+        result = json.loads(capsys.readouterr().out)
+        assert result["scenario"] == "steady-churn"
+        assert result["churn"]["departed"] > 0
+
+    def test_run_table_output(self, capsys):
+        assert main(["scenario", "run", "flash-crowd", "--seed", "0", "--duration", "300"]) == 0
+        output = capsys.readouterr().out
+        assert "Scenario: flash-crowd" in output
+        assert "infrastructure_kwh" in output
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenario", "run", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_without_name_errors(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])

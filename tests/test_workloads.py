@@ -14,10 +14,17 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.generator import (
     BatchArrival,
+    ExponentialLifetime,
+    FixedLifetime,
+    InfiniteLifetime,
     PoissonArrival,
+    UniformArrival,
+    UniformLifetime,
     VMRequest,
     WorkloadGenerator,
     consolidation_instance,
+    make_arrival,
+    make_lifetime,
 )
 from repro.workloads.traces import (
     BurstyTrace,
@@ -204,6 +211,46 @@ class TestWorkloadGenerator:
         assert all(
             np.allclose(x.vm.requested.values, y.vm.requested.values) for x, y in zip(a, b)
         )
+
+
+class TestLifetimeDistributions:
+    def test_infinite_lifetime_yields_none(self, rng):
+        assert InfiniteLifetime().sample(4, rng) == [None, None, None, None]
+
+    def test_fixed_lifetime(self, rng):
+        assert FixedLifetime(seconds=120.0).sample(3, rng) == [120.0, 120.0, 120.0]
+
+    def test_exponential_lifetime_respects_minimum(self, rng):
+        lifetimes = ExponentialLifetime(mean=10.0, minimum=60.0).sample(100, rng)
+        assert all(value >= 60.0 for value in lifetimes)
+
+    def test_uniform_lifetime_bounds(self, rng):
+        lifetimes = UniformLifetime(low=100.0, high=200.0).sample(50, rng)
+        assert all(100.0 <= value <= 200.0 for value in lifetimes)
+
+    def test_generator_threads_lifetimes_onto_vms(self, rng):
+        generator = WorkloadGenerator(lifetime_distribution=FixedLifetime(seconds=300.0))
+        requests = generator.generate(5, rng)
+        assert all(request.vm.runtime == 300.0 for request in requests)
+
+    def test_runtime_mean_and_lifetime_distribution_exclusive(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(runtime_mean=10.0, lifetime_distribution=FixedLifetime())
+
+    def test_make_lifetime_factory(self):
+        assert isinstance(make_lifetime("exponential", mean=5.0), ExponentialLifetime)
+        with pytest.raises(ValueError):
+            make_lifetime("bogus")
+
+    def test_uniform_arrival_within_window(self, rng):
+        times = UniformArrival(start=10.0, window=50.0).arrival_times(30, rng)
+        assert (times >= 10.0).all() and (times <= 60.0).all()
+        assert (np.diff(times) >= 0).all()
+
+    def test_make_arrival_factory(self):
+        assert isinstance(make_arrival("uniform", window=5.0), UniformArrival)
+        with pytest.raises(ValueError):
+            make_arrival("teleport")
 
 
 class TestConsolidationInstance:
