@@ -69,34 +69,55 @@ def _headline_metric(result) -> Optional[dict]:
     return headline or None
 
 
-def _write_summary(experiment: str, benchmark, elapsed_seconds: float, result) -> None:
+def results_path(filename: str) -> Optional[Path]:
+    """Resolve a results file path, honoring the ``REPRO_BENCH_RESULTS`` override.
+
+    Returns ``None`` when result writing is disabled (override set to "").
+    """
     results_dir = os.environ.get("REPRO_BENCH_RESULTS")
     if results_dir == "":
+        return None
+    return (Path(results_dir) if results_dir else RESULTS_DIR) / filename
+
+
+def write_results_json(filename: str, payload: dict) -> None:
+    """Write a machine-readable results file (shared by every benchmark).
+
+    Results are a convenience artifact; filesystem errors never fail a
+    benchmark over them.
+    """
+    path = results_path(filename)
+    if path is None:
         return
-    directory = Path(results_dir) if results_dir else RESULTS_DIR
     try:
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"BENCH_{experiment}.json"
-        entry = {
-            "benchmark": getattr(benchmark, "name", None) or experiment,
-            "elapsed_seconds": round(elapsed_seconds, 4),
-            "headline": _headline_metric(result),
-        }
-        summary = {"experiment": experiment, "entries": []}
-        if path.exists():
-            try:
-                existing = json.loads(path.read_text())
-                if isinstance(existing.get("entries"), list):
-                    summary = existing
-            except (json.JSONDecodeError, OSError):
-                pass
-        summary["entries"] = [
-            other for other in summary["entries"] if other.get("benchmark") != entry["benchmark"]
-        ] + [entry]
-        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     except OSError:
-        # Results are a convenience artifact; never fail a benchmark over them.
         pass
+
+
+def _write_summary(experiment: str, benchmark, elapsed_seconds: float, result) -> None:
+    filename = f"BENCH_{experiment}.json"
+    path = results_path(filename)
+    if path is None:
+        return
+    entry = {
+        "benchmark": getattr(benchmark, "name", None) or experiment,
+        "elapsed_seconds": round(elapsed_seconds, 4),
+        "headline": _headline_metric(result),
+    }
+    summary = {"experiment": experiment, "entries": []}
+    try:
+        if path.exists():
+            existing = json.loads(path.read_text())
+            if isinstance(existing.get("entries"), list):
+                summary = existing
+    except (json.JSONDecodeError, OSError):
+        pass
+    summary["entries"] = [
+        other for other in summary["entries"] if other.get("benchmark") != entry["benchmark"]
+    ] + [entry]
+    write_results_json(filename, summary)
 
 
 def run_once(benchmark, fn):

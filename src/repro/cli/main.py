@@ -21,7 +21,13 @@ Sub-commands
 ``repro-sim scenario``
     List, describe and run the declarative scenario catalog
     (:mod:`repro.scenarios`): ``scenario list``, ``scenario describe <name>``,
-    ``scenario run <name> [--seed N] [--duration S] [--json]``.
+    ``scenario run <name> [--seed N] [--duration S] [--json]
+    [--policy kind=name ...]``.
+
+``repro-sim policy``
+    Introspect the unified policy registry (:mod:`repro.policies`):
+    ``policy list`` enumerates every registered policy of every kind;
+    ``policy describe <kind> <name>`` prints one policy's parameter schema.
 """
 
 from __future__ import annotations
@@ -37,7 +43,8 @@ from repro.core import ACOConsolidation, BestFitDecreasing, BranchAndBoundOptima
 from repro.core.aco import ACOParameters
 from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
 from repro.metrics.report import ComparisonTable
-from repro.scenarios import ScenarioRunner, get_scenario, iter_scenarios
+from repro.policies import get_policy_spec, iter_policy_specs
+from repro.scenarios import ScenarioRunner, ScenarioSpec, get_scenario, iter_scenarios
 from repro.workloads import (
     BatchArrival,
     UniformDemandDistribution,
@@ -101,6 +108,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None, help="override the simulated duration (seconds)"
     )
     scenario.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
+    )
+    scenario.add_argument(
+        "--policy",
+        action="append",
+        default=[],
+        metavar="KIND=NAME",
+        help=(
+            "override a policy selection for the run (repeatable), e.g. "
+            "--policy placement=best-fit --policy reconfiguration=aco"
+        ),
+    )
+
+    policy = subparsers.add_parser(
+        "policy", help="introspect the unified policy registry"
+    )
+    policy.add_argument("action", choices=["list", "describe"], help="what to do")
+    policy.add_argument(
+        "kind", nargs="?", help="policy kind (filter for list, required for describe)"
+    )
+    policy.add_argument("name", nargs="?", help="policy name (for describe)")
+    policy.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
     return parser
@@ -199,8 +228,93 @@ def _run_hierarchy(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- policy
+def _run_policy(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.action == "list":
+        if args.name is not None:
+            parser.error("policy list takes at most a kind filter (did you mean describe?)")
+        try:
+            specs = list(iter_policy_specs(args.kind))
+        except ValueError as exc:  # unknown kind filter
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps([spec.describe() for spec in specs], indent=2))
+            return 0
+        title = f"Policy registry ({args.kind})" if args.kind else "Policy registry"
+        table = ComparisonTable(title)
+        for spec in specs:
+            table.add_row(
+                kind=spec.kind,
+                name=spec.name,
+                params=", ".join(spec.param_names()) or "-",
+                description=spec.description,
+            )
+        table.print()
+        return 0
+
+    # describe
+    if args.kind is None or args.name is None:
+        parser.error("policy describe requires a policy kind and a policy name")
+    try:
+        spec = get_policy_spec(args.kind, args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(spec.describe(), indent=2, sort_keys=True))
+        return 0
+    print(f"{spec.kind} / {spec.name}\n  {spec.description}")
+    if not spec.params:
+        print("  (no parameters)")
+        return 0
+    table = ComparisonTable("parameters")
+    for param in spec.params:
+        info = param.describe()
+        table.add_row(
+            param=info["name"],
+            required=info["required"],
+            default="-" if info["required"] else repr(info.get("default")),
+            runtime=bool(info.get("runtime", False)),
+        )
+    table.print()
+    return 0
+
+
+def _parse_policy_overrides(overrides: List[str]) -> dict:
+    """Parse repeated ``--policy kind=name`` flags into a spec ``policies`` block."""
+    policies = {}
+    for override in overrides:
+        kind, separator, name = override.partition("=")
+        if not separator or not kind or not name:
+            raise ValueError(
+                f"--policy expects KIND=NAME (e.g. placement=best-fit), got {override!r}"
+            )
+        policies[kind.strip()] = {"name": name.strip()}
+    return policies
+
+
+def _apply_policy_overrides(spec, overrides: dict):
+    """A copy of ``spec`` with ``--policy`` overrides applied (validated).
+
+    Overriding a kind with the name it already uses keeps the scenario's tuned
+    parameters; selecting a different policy replaces the whole entry.
+    """
+    if not overrides:
+        return spec
+    merged = dict(spec.policies)
+    for kind, override in overrides.items():
+        existing = merged.get(kind)
+        if existing is not None and existing.get("name") == override["name"]:
+            continue
+        merged[kind] = override
+    return ScenarioSpec.from_dict({**spec.to_dict(), "policies": merged})
+
+
 # ------------------------------------------------------------------- scenario
 def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.action == "list" and args.policy:
+        parser.error("--policy only applies to scenario run/describe")
     if args.action == "list":
         if args.json:
             print(
@@ -242,15 +356,21 @@ def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         return 1
 
     if args.action == "describe":
+        try:
+            spec = _apply_policy_overrides(spec, _parse_policy_overrides(args.policy))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=args.json))
         return 0
 
     try:
+        spec = _apply_policy_overrides(spec, _parse_policy_overrides(args.policy))
         runner = ScenarioRunner(spec, seed=args.seed, duration=args.duration)
         result = runner.run()
     except ValueError as exc:
-        # Bad overrides (non-positive duration, negative seed, ...) are user
-        # errors, not crashes.
+        # Bad overrides (non-positive duration, negative seed, unknown policy
+        # names, ...) are user errors, not crashes.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.json:
@@ -277,6 +397,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_hierarchy(args)
     if args.command == "scenario":
         return _run_scenario(args, parser)
+    if args.command == "policy":
+        return _run_policy(args, parser)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

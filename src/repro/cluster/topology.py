@@ -9,8 +9,8 @@ and benchmarks can also reason about rack-level structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 import numpy as np

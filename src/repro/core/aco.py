@@ -190,7 +190,6 @@ class ACOConsolidation(ConsolidationAlgorithm):
         self, demands: np.ndarray, capacities: np.ndarray, pheromone: np.ndarray
     ) -> np.ndarray:
         """One ant builds a complete assignment, filling hosts one at a time."""
-        params = self.parameters
         n_vms = demands.shape[0]
         n_hosts = capacities.shape[0]
         assignment = np.full(n_vms, -1, dtype=np.int64)

@@ -12,7 +12,6 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

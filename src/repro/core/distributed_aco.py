@@ -24,7 +24,7 @@ trade-off (hosts used and wall-clock runtime vs the centralized algorithm).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

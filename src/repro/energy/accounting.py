@@ -21,7 +21,7 @@ Two extra buckets exist beyond per-node energy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.cluster.node import PhysicalNode
 from repro.simulation.engine import Simulator

@@ -17,7 +17,7 @@ commands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.node import NodeState, PhysicalNode
 from repro.cluster.power import DEFAULT_POWER_STATES, PowerStateSpec

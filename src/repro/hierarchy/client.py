@@ -9,7 +9,7 @@ the scalability experiment (E3) reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.vm import VirtualMachine, VMState

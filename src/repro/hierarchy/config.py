@@ -9,11 +9,30 @@ interval and the energy-management settings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.energy.power_manager import PowerManagerConfig
 from repro.network.transport import NetworkConfig
-from repro.scheduling.thresholds import UtilizationThresholds
+from repro.policies import get_policy_spec
+from repro.policies.registry import validate_policy_selection
+from repro.policies.thresholds import UtilizationThresholds
+
+#: Policy kinds whose selection historically lived in a flat string field.
+#: The structured ``policies`` block and these legacy fields are kept in sync
+#: both ways: a ``policies`` entry wins and updates the string field; an
+#: absent entry is seeded from the string field.
+LEGACY_POLICY_FIELDS: Dict[str, str] = {
+    "dispatching": "dispatching_policy",
+    "placement": "placement_policy",
+    "assignment": "assignment_policy",
+    "reconfiguration": "reconfiguration_algorithm",
+}
+
+#: Kinds that never had a legacy string field, with their default selection.
+DEFAULT_POLICIES: Dict[str, str] = {
+    "overload-relocation": "greedy",
+    "underload-relocation": "all-or-nothing",
+}
 
 
 @dataclass
@@ -57,6 +76,12 @@ class HierarchyConfig:
     reconfiguration_algorithm: str = "aco"
     #: Cap on migrations per reconfiguration round (None = unlimited).
     max_migrations_per_round: Optional[int] = None
+    #: Structured policy selection: ``{kind: {"name": ..., **params}}`` entries
+    #: for the registered policy kinds (``placement``, ``dispatching``,
+    #: ``assignment``, ``reconfiguration``, ``overload-relocation``,
+    #: ``underload-relocation``).  Kinds omitted here resolve lazily from the
+    #: legacy string fields above; entries given here win and update them.
+    policies: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     # ---------------------------------------------------------------- energy
     #: Energy management settings (idle threshold, power state, reserve hosts).
@@ -109,3 +134,80 @@ class HierarchyConfig:
             raise ValueError("entry_points must be positive")
         if self.reconfiguration_interval is not None and self.reconfiguration_interval <= 0:
             raise ValueError("reconfiguration_interval must be positive or None")
+        self._resolve_policies()
+
+    # -------------------------------------------------------------- policies
+    def _resolve_policies(self) -> None:
+        """Validate the authored ``policies`` block and the legacy string fields.
+
+        ``self.policies`` keeps only the entries the caller actually wrote
+        (so ``dataclasses.replace`` and serialization carry authored intent,
+        not derived state); selections for kinds without an entry are read
+        from the legacy string fields / defaults *lazily* at build time.
+        A block entry wins over its legacy field and updates the string so
+        direct reads stay coherent.  Unknown kinds, names and parameter names
+        raise :class:`ValueError` at construction (listing the alternatives).
+        """
+        policies: Dict[str, Dict[str, object]] = {}
+        for kind, entry in (self.policies or {}).items():
+            validate_policy_selection(str(kind), entry)  # bad shape/kind/name -> ValueError
+            policies[str(kind)] = dict(entry)
+        self.policies = policies
+        for kind, attr in LEGACY_POLICY_FIELDS.items():
+            if kind in policies:
+                setattr(self, attr, str(policies[kind]["name"]))
+            else:
+                get_policy_spec(kind, getattr(self, attr))  # unknown name -> ValueError
+
+    def _policy_entry(self, kind: str) -> Dict[str, object]:
+        """The effective ``{"name": ..., **params}`` selection for ``kind``.
+
+        Precedence: an authored ``policies`` entry, else the legacy string
+        field, else the built-in default.  Legacy fields and the block are
+        read live, so post-construction mutation of either is honored.
+        """
+        entry = self.policies.get(kind)
+        if entry is not None:
+            if kind in LEGACY_POLICY_FIELDS:
+                # Keep the documented back-compat string coherent with the
+                # block even when the block was mutated after construction.
+                setattr(self, LEGACY_POLICY_FIELDS[kind], str(entry["name"]))
+            return dict(entry)
+        if kind in LEGACY_POLICY_FIELDS:
+            return {"name": getattr(self, LEGACY_POLICY_FIELDS[kind])}
+        if kind in DEFAULT_POLICIES:
+            return {"name": DEFAULT_POLICIES[kind]}
+        raise ValueError(
+            f"unknown policy kind {kind!r}; choose from "
+            f"{sorted(set(LEGACY_POLICY_FIELDS) | set(DEFAULT_POLICIES))}"
+        )
+
+    def resolved_policies(self) -> Dict[str, Dict[str, object]]:
+        """The effective selection of every known policy kind."""
+        kinds = set(LEGACY_POLICY_FIELDS) | set(DEFAULT_POLICIES) | set(self.policies)
+        return {kind: self._policy_entry(kind) for kind in sorted(kinds)}
+
+    def policy_name(self, kind: str) -> str:
+        """The selected policy name for ``kind``."""
+        return str(self._policy_entry(kind)["name"])
+
+    def build_policy(self, kind: str, **extra):
+        """Construct the selected policy for ``kind`` through the registry.
+
+        ``extra`` carries runtime wiring (thresholds, migration caps, random
+        streams) supplied by the component building the policy; parameters
+        from the ``policies`` entry take precedence over it.
+        """
+        entry = self._policy_entry(kind)
+        # Re-validate here so invalid post-construction mutations of the
+        # legacy fields or the block fail with the alternatives listed.
+        spec = validate_policy_selection(kind, entry)
+        params = {key: value for key, value in entry.items() if key != "name"}
+        accepted = set(spec.param_names())
+        merged = {
+            key: value
+            for key, value in extra.items()
+            if spec.accepts_extra or key in accepted
+        }
+        merged.update(params)
+        return spec.build(**merged)

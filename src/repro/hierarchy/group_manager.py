@@ -25,13 +25,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.cluster.node import NodeState, PhysicalNode
-from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
+from repro.cluster.node import PhysicalNode
 from repro.cluster.vm import VirtualMachine
 from repro.coordination.election import LeaderElection
 from repro.coordination.znodes import CoordinationService
-from repro.core.aco import ACOConsolidation, ACOParameters
-from repro.core.ffd import BestFitDecreasing, FirstFitDecreasing
 from repro.energy.accounting import EnergyMeter
 from repro.energy.power_manager import PowerStateManager
 from repro.hierarchy.common import Component
@@ -45,10 +42,7 @@ from repro.metrics.recorder import EventLog
 from repro.monitoring.summary import GroupManagerSummary
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
-from repro.scheduling.dispatching import make_dispatching_policy
-from repro.scheduling.placement import make_placement_policy
-from repro.scheduling.reconfiguration import ReconfigurationPolicy
-from repro.scheduling.relocation import OverloadRelocationPolicy, UnderloadRelocationPolicy
+from repro.policies import ClusterView
 from repro.simulation.engine import Event, Simulator
 from repro.simulation.timers import PeriodicTimer, Timeout
 
@@ -75,13 +69,20 @@ class GroupManager(Component):
         #: lc_name -> {"node": PhysicalNode, "last_report": dict | None, "timeout": Timeout}
         self.local_controllers: Dict[str, dict] = {}
         self.current_gl: Optional[str] = None
-        self.placement_policy = make_placement_policy(self.config.placement_policy)
-        self.overload_policy = OverloadRelocationPolicy(self.config.thresholds)
-        self.underload_policy = UnderloadRelocationPolicy(self.config.thresholds)
-        self.reconfiguration_policy = ReconfigurationPolicy(
-            algorithm=self._build_consolidation_algorithm(),
+        # Every decision point is a registered policy, built through the one
+        # registry path (HierarchyConfig.build_policy -> repro.policies).
+        self.placement_policy = self.config.build_policy("placement")
+        self.overload_policy = self.config.build_policy(
+            "overload-relocation", thresholds=self.config.thresholds
+        )
+        self.underload_policy = self.config.build_policy(
+            "underload-relocation", thresholds=self.config.thresholds
+        )
+        self.reconfiguration_policy = self.config.build_policy(
+            "reconfiguration",
             thresholds=self.config.thresholds,
             max_migrations=self.config.max_migrations_per_round,
+            rng=self._consolidation_rng,
         )
         self.power_manager: Optional[PowerStateManager] = None
         #: Statistics for the experiments.
@@ -96,8 +97,8 @@ class GroupManager(Component):
         #: GMs known to the leader (from their heartbeats), used for LC assignment.
         self.known_gms: set = set()
         self._gm_timeouts: Dict[str, Timeout] = {}
-        self.dispatching_policy = make_dispatching_policy(self.config.dispatching_policy)
-        self._assignment_counter = 0
+        self.dispatching_policy = self.config.build_policy("dispatching")
+        self.assignment_policy = self.config.build_policy("assignment")
         self._gl_heartbeat_timer: Optional[PeriodicTimer] = None
         self.submissions_dispatched = 0
 
@@ -112,16 +113,6 @@ class GroupManager(Component):
         self.rpc.register_operation("describe", self._op_describe)
 
     # ------------------------------------------------------------------ setup
-    def _build_consolidation_algorithm(self):
-        name = self.config.reconfiguration_algorithm.lower()
-        if name == "aco":
-            return ACOConsolidation(ACOParameters(), rng=self._consolidation_rng)
-        if name == "ffd":
-            return FirstFitDecreasing()
-        if name == "bfd":
-            return BestFitDecreasing()
-        raise ValueError(f"unknown reconfiguration algorithm {name!r}")
-
     def on_start(self) -> None:
         # Join (or re-join) the leader election.
         self.election = LeaderElection(
@@ -395,22 +386,21 @@ class GroupManager(Component):
 
     # --------------------------------------------------- GL: LC assignment
     def _op_assign_lc(self, lc_name: str, capacity=None) -> dict:  # noqa: ARG002 - capacity reserved for future policies
-        """Assign a joining LC to a GM (round-robin or least-loaded, Section II.D)."""
+        """Assign a joining LC to a GM via the registered ``assignment`` policy (Section II.D)."""
         if not self.is_leader:
             return {"gm": None, "reason": "not the group leader"}
         known_gms = sorted(self.known_gms | set(self.gm_summaries) | {self.name})
-        if self.config.assignment_policy == "least-loaded":
-            def lc_count(gm: str) -> int:
-                if gm == self.name:
-                    return len(self.local_controllers)
-                if gm in self.gm_summaries:
-                    return self.gm_summaries[gm].local_controller_count
-                return 0
 
-            chosen = min(known_gms, key=lambda gm: (lc_count(gm), gm))
-        else:  # round-robin
-            chosen = known_gms[self._assignment_counter % len(known_gms)]
-            self._assignment_counter += 1
+        def lc_count(gm: str) -> int:
+            if gm == self.name:
+                return len(self.local_controllers)
+            if gm in self.gm_summaries:
+                return self.gm_summaries[gm].local_controller_count
+            return 0
+
+        chosen = self.assignment_policy.choose(
+            known_gms, {gm: lc_count(gm) for gm in known_gms}
+        )
         return {"gm": chosen}
 
     # -------------------------------------------------- GL: VM dispatching
@@ -423,11 +413,13 @@ class GroupManager(Component):
         self.submissions_dispatched += 1
         summaries = dict(self.gm_summaries)
         summaries.setdefault(self.name, self._build_summary())
-        candidates = self.dispatching_policy.candidates(vm.requested, summaries)
-        if not candidates:
-            self.sim.trigger(reply, {"placed": False, "reason": "no group managers"})
+        decision = self.dispatching_policy.decide(vm.requested, summaries)
+        if decision.empty:
+            self.sim.trigger(
+                reply, {"placed": False, "reason": decision.reason or "no group managers"}
+            )
             return reply
-        self._probe_candidates(vm, candidates, 0, reply)
+        self._probe_candidates(vm, decision.candidates, 0, reply)
         return reply
 
     def _probe_candidates(self, vm: VirtualMachine, candidates: List[str], index: int, reply: Event) -> None:
@@ -462,12 +454,15 @@ class GroupManager(Component):
 
     def _attempt_placement(self, vm: VirtualMachine, reply: Event, allow_wakeup: bool, exclude: Optional[set] = None) -> None:
         exclude = exclude or set()
-        nodes = [
-            record["node"]
-            for lc_name, record in self.local_controllers.items()
-            if lc_name not in exclude
-        ]
-        chosen = self.placement_policy.select(vm, nodes)
+        view = ClusterView.from_nodes(
+            [
+                record["node"]
+                for lc_name, record in self.local_controllers.items()
+                if lc_name not in exclude
+            ]
+        )
+        decision = self.placement_policy.decide(vm, view)
+        chosen = view.node_by_id(decision.node_id) if decision.placed else None
         if chosen is None:
             # Not enough powered-on capacity: wake a suspended host (Section III)
             # and retry when it is up, once.

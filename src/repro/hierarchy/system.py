@@ -16,10 +16,8 @@ tests and benchmarks share the same construction code:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.cluster.node import NodeState, PhysicalNode
 from repro.cluster.topology import ClusterSpec, ClusterTopology, build_cluster

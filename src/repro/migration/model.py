@@ -12,10 +12,9 @@ never models migration internals, only their existence and cost).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.cluster.node import PhysicalNode
-from repro.cluster.resources import ResourceError
 from repro.cluster.vm import VirtualMachine, VMState
 from repro.simulation.engine import Simulator
 

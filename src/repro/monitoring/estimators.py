@@ -19,8 +19,6 @@ return a ``(d,)`` vector.
 from __future__ import annotations
 
 import abc
-from typing import Optional
-
 import numpy as np
 
 

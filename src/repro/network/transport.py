@@ -9,7 +9,7 @@ II.E failure scenarios are all "heartbeats are lost").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np

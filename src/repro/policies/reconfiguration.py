@@ -1,0 +1,211 @@
+"""Periodic reconfiguration policies (kind ``reconfiguration``).
+
+Paper Section II.C: "reconfiguration policies can be specified which will be
+called periodically according to the system administrator specified interval
+to further optimize the VM placement of moderately loaded nodes. For example,
+a VM consolidation policy can be enabled to weekly optimize the VM placement
+by packing VMs on as few nodes as possible."
+
+The :class:`ReconfigurationPolicy` glues three pieces together:
+
+1. select the hosts that may participate (powered-on, not overloaded -- the
+   paper restricts reconfiguration to moderately loaded nodes so that hot
+   hosts are handled by overload relocation instead);
+2. run a consolidation algorithm from :mod:`repro.core` over the
+   participating hosts' VMs;
+3. translate the new placement into an ordered
+   :class:`~repro.policies.decisions.MigrationPlan` and report which hosts the
+   plan frees entirely (candidates for suspension).
+
+The **bridge** at the bottom registers every :mod:`repro.core` consolidation
+algorithm (ACO, distributed ACO, FFD, BFD, WFD) as a ``reconfiguration``
+policy, so scenarios can run e.g. ACO-driven periodic consolidation inside the
+live hierarchy by name -- not only offline through the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.node import PhysicalNode
+from repro.cluster.vm import VirtualMachine
+from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.base import ConsolidationAlgorithm
+from repro.core.distributed_aco import DistributedACOConsolidation
+from repro.core.ffd import BestFitDecreasing, FirstFitDecreasing, WorstFitDecreasing
+from repro.core.migration_plan import plan_migrations
+from repro.core.placement import placement_from_nodes
+from repro.policies.decisions import MigrationPlan
+from repro.policies.registry import register_policy
+from repro.policies.thresholds import UtilizationThresholds
+from repro.policies.view import ClusterView
+
+
+class ReconfigurationPolicy:
+    """Periodic consolidation driver used by Group Managers."""
+
+    kind = "reconfiguration"
+    name = "consolidation"
+
+    def __init__(
+        self,
+        algorithm: Optional[ConsolidationAlgorithm] = None,
+        thresholds: Optional[UtilizationThresholds] = None,
+        max_migrations: Optional[int] = None,
+        include_overloaded: bool = False,
+    ) -> None:
+        self.algorithm = algorithm or ACOConsolidation()
+        self.thresholds = thresholds or UtilizationThresholds()
+        self.max_migrations = max_migrations
+        self.include_overloaded = include_overloaded
+
+    # ------------------------------------------------------------------ run
+    def plan(self, nodes: Sequence[PhysicalNode]) -> MigrationPlan:
+        """Compute a reconfiguration plan over the given Local Controller hosts."""
+        eligible = self._eligible_nodes(nodes)
+        plan = MigrationPlan()
+        vms: List[VirtualMachine] = [vm for node in eligible for vm in node.vms]
+        if len(eligible) < 2 or not vms:
+            return plan
+
+        current, vm_list, node_list = placement_from_nodes(eligible, vms)
+        plan.hosts_before = current.hosts_used()
+
+        result = self.algorithm.consolidate(current)
+        target = result.placement
+        plan.consolidation_summary = result.summary()
+
+        if not (target.fully_assigned and target.is_feasible()):
+            # A consolidation result that cannot be executed is discarded; the
+            # current placement remains in force (fail-safe behaviour).
+            plan.hosts_after = plan.hosts_before
+            plan.reason = "consolidation result infeasible; keeping current placement"
+            return plan
+
+        plan.hosts_after = target.hosts_used()
+        for migration in plan_migrations(current, target, max_migrations=self.max_migrations):
+            plan.moves.append(
+                (
+                    vm_list[migration.vm_index],
+                    node_list[migration.source_host],
+                    node_list[migration.target_host],
+                )
+            )
+
+        # Nodes emptied by the executed moves (not merely by the ideal target,
+        # which may be partially deferred).
+        simulated_population = {node.node_id: node.vm_count for node in eligible}
+        for _vm, source, destination in plan.moves:
+            simulated_population[source.node_id] -= 1
+            simulated_population[destination.node_id] += 1
+        plan.released_nodes = [
+            node
+            for node in eligible
+            if simulated_population[node.node_id] == 0 and node.vm_count > 0
+        ]
+        return plan
+
+    # -------------------------------------------------------------- selection
+    def _eligible_nodes(self, nodes: Sequence[PhysicalNode]) -> List[PhysicalNode]:
+        """Powered-on hosts allowed to participate in this round.
+
+        Overload screening is vectorized over the snapshot: hosts above the
+        overload threshold are left to event-based relocation instead.
+        """
+        view = ClusterView.from_nodes(nodes, sort_by_id=False)
+        if len(view) == 0:
+            return []
+        keep = view.placeable.copy()
+        if not self.include_overloaded:
+            utilization = np.minimum(view.cpu_utilization(), 1.0)
+            keep &= utilization <= self.thresholds.overload
+        return [node for node, ok in zip(view.nodes, keep) if ok]
+
+
+# --------------------------------------------------------------------- bridge
+# Every repro.core consolidation algorithm doubles as a reconfiguration policy.
+
+def _policy(
+    algorithm: ConsolidationAlgorithm,
+    thresholds: Optional[UtilizationThresholds],
+    max_migrations: Optional[int],
+    include_overloaded: bool,
+) -> ReconfigurationPolicy:
+    return ReconfigurationPolicy(
+        algorithm=algorithm,
+        thresholds=thresholds,
+        max_migrations=max_migrations,
+        include_overloaded=include_overloaded,
+    )
+
+
+@register_policy("reconfiguration", name="aco")
+def aco_reconfiguration(
+    n_ants: int = 8,
+    n_cycles: int = 30,
+    thresholds: Optional[UtilizationThresholds] = None,
+    max_migrations: Optional[int] = None,
+    include_overloaded: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> ReconfigurationPolicy:
+    """Ant Colony Optimization consolidation (the paper's core algorithm)."""
+    algorithm = ACOConsolidation(
+        ACOParameters(n_ants=int(n_ants), n_cycles=int(n_cycles)), rng=rng
+    )
+    return _policy(algorithm, thresholds, max_migrations, include_overloaded)
+
+
+@register_policy("reconfiguration", name="distributed-aco")
+def distributed_aco_reconfiguration(
+    n_partitions: int = 2,
+    n_ants: int = 8,
+    n_cycles: int = 30,
+    exchange_round: bool = True,
+    thresholds: Optional[UtilizationThresholds] = None,
+    max_migrations: Optional[int] = None,
+    include_overloaded: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> ReconfigurationPolicy:
+    """Partitioned ACO: one independent colony per Group Manager partition."""
+    algorithm = DistributedACOConsolidation(
+        n_partitions=int(n_partitions),
+        parameters=ACOParameters(n_ants=int(n_ants), n_cycles=int(n_cycles)),
+        exchange_round=bool(exchange_round),
+        rng=rng,
+    )
+    return _policy(algorithm, thresholds, max_migrations, include_overloaded)
+
+
+@register_policy("reconfiguration", name="ffd")
+def ffd_reconfiguration(
+    thresholds: Optional[UtilizationThresholds] = None,
+    max_migrations: Optional[int] = None,
+    include_overloaded: bool = False,
+    rng: Optional[np.random.Generator] = None,  # noqa: ARG001 - deterministic algorithm
+) -> ReconfigurationPolicy:
+    """First-Fit Decreasing consolidation (the paper's greedy baseline)."""
+    return _policy(FirstFitDecreasing(), thresholds, max_migrations, include_overloaded)
+
+
+@register_policy("reconfiguration", name="bfd")
+def bfd_reconfiguration(
+    thresholds: Optional[UtilizationThresholds] = None,
+    max_migrations: Optional[int] = None,
+    include_overloaded: bool = False,
+    rng: Optional[np.random.Generator] = None,  # noqa: ARG001 - deterministic algorithm
+) -> ReconfigurationPolicy:
+    """Best-Fit Decreasing consolidation (tighter greedy packing)."""
+    return _policy(BestFitDecreasing(), thresholds, max_migrations, include_overloaded)
+
+
+@register_policy("reconfiguration", name="wfd")
+def wfd_reconfiguration(
+    thresholds: Optional[UtilizationThresholds] = None,
+    max_migrations: Optional[int] = None,
+    include_overloaded: bool = False,
+    rng: Optional[np.random.Generator] = None,  # noqa: ARG001 - deterministic algorithm
+) -> ReconfigurationPolicy:
+    """Worst-Fit Decreasing: the load-balancing anti-baseline (spreads, not packs)."""
+    return _policy(WorstFitDecreasing(), thresholds, max_migrations, include_overloaded)

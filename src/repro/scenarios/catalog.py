@@ -249,6 +249,42 @@ def _trace_replay() -> ScenarioSpec:
 
 
 @register_scenario
+def _aco_consolidation_cycle() -> ScenarioSpec:
+    """Periodic ACO consolidation running inside the live hierarchy."""
+    return ScenarioSpec(
+        name="aco-consolidation-cycle",
+        description=(
+            "Best-fit placement plus periodic ACO-driven reconfiguration: the "
+            "paper's consolidation algorithm re-packs moderately loaded hosts "
+            "every 15 simulated minutes while churn keeps fragmenting them."
+        ),
+        duration=3600.0,
+        local_controllers=10,
+        group_managers=2,
+        config={
+            "monitoring_interval": 30.0,
+            "summary_interval": 30.0,
+            "reconfiguration_interval": 900.0,
+            "max_migrations_per_round": 6,
+        },
+        policies={
+            "placement": {"name": "best-fit"},
+            "reconfiguration": {"name": "aco", "n_ants": 6, "n_cycles": 12},
+        },
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=36,
+                arrival={"kind": "poisson", "rate_per_hour": 180.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.6},
+                lifetime={"kind": "exponential", "mean": 1200.0, "minimum": 120.0},
+            )
+        ],
+    )
+
+
+@register_scenario
 def _leader_crash_under_load() -> ScenarioSpec:
     """Kill the Group Leader mid-churn, then tighten thresholds."""
     return ScenarioSpec(

@@ -52,6 +52,8 @@ class ScenarioResult:
     availability: Dict[str, object] = field(default_factory=dict)
     #: Raw event counts by category, for deeper digging.
     event_counts: Dict[str, int] = field(default_factory=dict)
+    #: The resolved policy selection the run used (kind -> policy name).
+    policies: Dict[str, str] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain-data form."""
@@ -200,6 +202,10 @@ class ScenarioRunner:
                 "underload_events": log.count("underload_detected"),
             },
             event_counts={category: log.count(category) for category in log.categories()},
+            policies={
+                kind: str(entry["name"])
+                for kind, entry in sorted(system.config.resolved_policies().items())
+            },
         )
 
 

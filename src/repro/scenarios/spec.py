@@ -6,7 +6,11 @@ experiment against a Snooze deployment:
 * the **cluster shape**: how many Local Controllers, Group Managers and Entry
   Points, optionally a heterogeneous fleet of :class:`NodeClass` slices;
 * **configuration overrides** for :class:`~repro.hierarchy.config.HierarchyConfig`
-  (scheduling policies, thresholds, energy management, intervals);
+  (thresholds, energy management, intervals);
+* a declarative **policies** section selecting the registered policy of every
+  kind (placement, dispatching, assignment, relocation, reconfiguration) as
+  ``{kind: {"name": ..., **params}}`` entries validated against
+  :mod:`repro.policies`;
 * **workload phases**: each phase names an arrival process, a demand
   distribution, a per-VM utilization trace and a VM lifetime distribution, all
   as ``{"kind": ..., **params}`` dictionaries compiled through the factories
@@ -23,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -32,7 +36,8 @@ from repro.energy.power_manager import PowerManagerConfig
 from repro.hierarchy.config import HierarchyConfig
 from repro.hierarchy.system import SystemSpec
 from repro.network.transport import NetworkConfig
-from repro.scheduling.thresholds import UtilizationThresholds
+from repro.policies.registry import validate_policy_selection
+from repro.policies.thresholds import UtilizationThresholds
 from repro.workloads.distributions import make_distribution
 from repro.workloads.generator import WorkloadGenerator, make_arrival, make_lifetime
 from repro.workloads.traces import make_trace_factory
@@ -184,6 +189,13 @@ class ScenarioSpec:
     #: Flat :class:`HierarchyConfig` overrides; the nested keys ``thresholds``,
     #: ``power_manager`` and ``network`` take parameter dictionaries.
     config: Dict[str, object] = field(default_factory=dict)
+    #: Declarative policy selection: ``{kind: {"name": ..., **params}}``
+    #: entries for the registered policy kinds (``placement``,
+    #: ``dispatching``, ``assignment``, ``reconfiguration``,
+    #: ``overload-relocation``, ``underload-relocation``).  Kinds omitted here
+    #: fall back to the deployment defaults; entries are JSON-round-trippable
+    #: and validated against the policy registry at construction.
+    policies: Dict[str, Dict[str, object]] = field(default_factory=dict)
     phases: List[WorkloadPhase] = field(default_factory=list)
     timeline: List[TimelineEvent] = field(default_factory=list)
     #: Sampling interval of the time-series recorder attached to every run.
@@ -213,6 +225,13 @@ class ScenarioSpec:
                 "'seed' cannot be a config override: the run seed is supplied to "
                 "ScenarioRunner so one spec can be replayed under many seeds"
             )
+        if "policies" in self.config:
+            raise ValueError(
+                "'policies' cannot be a config override: use the scenario's own "
+                "top-level 'policies' section instead"
+            )
+        for kind, entry in self.policies.items():
+            validate_policy_selection(kind, entry)  # unknown kind/name/params -> ValueError
 
     # ------------------------------------------------------------- compilation
     def cluster_spec(self) -> ClusterSpec:
@@ -243,6 +262,8 @@ class ScenarioSpec:
             kwargs["power_manager"] = PowerManagerConfig(**kwargs["power_manager"])
         if "network" in kwargs:
             kwargs["network"] = NetworkConfig(**kwargs["network"])
+        if self.policies:
+            kwargs["policies"] = {kind: dict(entry) for kind, entry in self.policies.items()}
         kwargs["seed"] = int(seed)
         return HierarchyConfig(**kwargs)
 
@@ -269,6 +290,7 @@ class ScenarioSpec:
             "nodes_per_rack": self.nodes_per_rack,
             "heterogeneity": self.heterogeneity,
             "config": dict(self.config),
+            "policies": {kind: dict(entry) for kind, entry in self.policies.items()},
             "phases": [phase.to_dict() for phase in self.phases],
             "timeline": [event.to_dict() for event in self.timeline],
             "record_interval": self.record_interval,
@@ -297,6 +319,10 @@ class ScenarioSpec:
             nodes_per_rack=int(data.get("nodes_per_rack", 24)),
             heterogeneity=float(data.get("heterogeneity", 0.0)),
             config=dict(data.get("config", {})),
+            policies={
+                str(kind): dict(entry)
+                for kind, entry in dict(data.get("policies", {})).items()
+            },
             phases=[WorkloadPhase.from_dict(phase) for phase in data.get("phases", [])],
             timeline=[TimelineEvent.from_dict(event) for event in data.get("timeline", [])],
             record_interval=float(data.get("record_interval", 60.0)),

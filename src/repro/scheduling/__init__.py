@@ -1,6 +1,12 @@
-"""Two-level VM scheduling policies.
+"""Two-level VM scheduling policies (back-compat facade).
 
 Paper Section II.C: "Scheduling decisions are taken at two-levels: GL and GM."
+
+The policy implementations now live in :mod:`repro.policies` -- the unified
+policy subsystem with a central registry (``@register_policy`` /
+``make_policy``), a shared numpy :class:`~repro.policies.view.ClusterView`
+snapshot and a common decision vocabulary.  This package re-exports the
+historical names so existing imports keep working:
 
 * **Group Leader dispatching** (:mod:`repro.scheduling.dispatching`): pick an
   ordered candidate list of Group Managers from their summaries (round-robin,

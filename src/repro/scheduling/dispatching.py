@@ -1,103 +1,29 @@
-"""Group Leader dispatching policies.
+"""Back-compat shim: dispatching policies now live in :mod:`repro.policies.dispatching`.
 
-Paper Section II.C: "At the GL level, VM to GM dispatching decisions are taken
-based on the GM resource summary information. ... a list of candidate GMs is
-provided by the dispatching policies. Based on this list, a linear search is
-performed by issuing VM placement requests to the GMs."
-
-A dispatching policy therefore returns an *ordered candidate list* of Group
-Manager ids, not a single choice; the Group Leader probes them in order until
-one accepts the VM.
+The implementations moved into the unified policy subsystem.  This module
+keeps the historical import path and the :func:`make_dispatching_policy`
+factory working for existing call sites.
 """
 
 from __future__ import annotations
 
-import abc
-from typing import Dict, List, Sequence
+from repro.policies.dispatching import (
+    DispatchingPolicy,
+    FirstFitDispatching,
+    LeastLoadedDispatching,
+    RoundRobinDispatching,
+)
+from repro.policies.registry import make_policy
 
-from repro.cluster.resources import ResourceVector
-from repro.monitoring.summary import GroupManagerSummary
-
-
-class DispatchingPolicy(abc.ABC):
-    """Base class: rank Group Managers for an incoming VM request."""
-
-    name: str = "base"
-
-    @abc.abstractmethod
-    def candidates(
-        self, demand: ResourceVector, summaries: Dict[str, GroupManagerSummary]
-    ) -> List[str]:
-        """Return GM ids ordered by preference for hosting ``demand``.
-
-        GMs whose summary clearly cannot host the VM are filtered out; the GL
-        still falls back to probing *all* GMs if the filtered list comes back
-        empty, because summaries may be stale.
-        """
-
-    def _plausible(
-        self, demand: ResourceVector, summaries: Dict[str, GroupManagerSummary]
-    ) -> List[str]:
-        """GM ids whose summary does not rule out hosting the VM."""
-        plausible = [gm_id for gm_id, summary in summaries.items() if summary.could_host(demand)]
-        return plausible or list(summaries)
-
-
-class RoundRobinDispatching(DispatchingPolicy):
-    """Rotate through Group Managers independent of load (the paper's example policy)."""
-
-    name = "round-robin"
-
-    def __init__(self) -> None:
-        self._next = 0
-
-    def candidates(
-        self, demand: ResourceVector, summaries: Dict[str, GroupManagerSummary]
-    ) -> List[str]:
-        plausible = sorted(self._plausible(demand, summaries))
-        if not plausible:
-            return []
-        start = self._next % len(plausible)
-        self._next += 1
-        return plausible[start:] + plausible[:start]
-
-
-class LeastLoadedDispatching(DispatchingPolicy):
-    """Prefer the GM with the lowest reserved/total ratio (load balancing)."""
-
-    name = "least-loaded"
-
-    def candidates(
-        self, demand: ResourceVector, summaries: Dict[str, GroupManagerSummary]
-    ) -> List[str]:
-        plausible = self._plausible(demand, summaries)
-        return sorted(plausible, key=lambda gm_id: (summaries[gm_id].utilization(), gm_id))
-
-
-class FirstFitDispatching(DispatchingPolicy):
-    """Always probe GMs in a fixed (id-sorted) order -- packs GMs one after another.
-
-    This is the energy-friendly choice: it concentrates VMs on the first GMs'
-    Local Controllers so later GMs' hosts stay idle and can be suspended.
-    """
-
-    name = "first-fit"
-
-    def candidates(
-        self, demand: ResourceVector, summaries: Dict[str, GroupManagerSummary]
-    ) -> List[str]:
-        return sorted(self._plausible(demand, summaries))
+__all__ = [
+    "DispatchingPolicy",
+    "RoundRobinDispatching",
+    "LeastLoadedDispatching",
+    "FirstFitDispatching",
+    "make_dispatching_policy",
+]
 
 
 def make_dispatching_policy(name: str, **kwargs) -> DispatchingPolicy:
-    """Factory keyed by policy name (``round-robin``, ``least-loaded``, ``first-fit``)."""
-    registry = {
-        "round-robin": RoundRobinDispatching,
-        "least-loaded": LeastLoadedDispatching,
-        "first-fit": FirstFitDispatching,
-    }
-    try:
-        cls = registry[name.lower()]
-    except KeyError as exc:
-        raise ValueError(f"unknown dispatching policy {name!r}; choose from {sorted(registry)}") from exc
-    return cls(**kwargs)
+    """Factory keyed by policy name; unknown names list the registered alternatives."""
+    return make_policy("dispatching", name, **kwargs)

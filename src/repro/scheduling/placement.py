@@ -1,113 +1,32 @@
-"""Group Manager placement policies.
+"""Back-compat shim: placement policies now live in :mod:`repro.policies.placement`.
 
-Paper Section II.C: "At the GM level, the actual VM scheduling decisions are
-taken. ... Policies of the former type (e.g. round robin or first-fit) are
-triggered event-based to place incoming VMs on LCs."
-
-A placement policy selects one Local Controller (by node object) for one VM,
-given the GM's current view of its LCs.  Unlike the Group Leader, the GM has
-exact per-LC information, so its decision is final (or fails, bouncing the VM
-back to the GL for another GM).
+The implementations moved into the unified policy subsystem (central registry,
+vectorized :class:`~repro.policies.view.ClusterView` scoring).  This module
+keeps the historical import path and the :func:`make_placement_policy` factory
+working for existing call sites.
 """
 
 from __future__ import annotations
 
-import abc
-from typing import List, Optional, Sequence
+from repro.policies.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    WorstFitPlacement,
+)
+from repro.policies.registry import make_policy
 
-import numpy as np
-
-from repro.cluster.node import PhysicalNode
-from repro.cluster.vm import VirtualMachine
-
-
-class PlacementPolicy(abc.ABC):
-    """Base class: choose a Local Controller host for one VM."""
-
-    name: str = "base"
-
-    @abc.abstractmethod
-    def select(self, vm: VirtualMachine, nodes: Sequence[PhysicalNode]) -> Optional[PhysicalNode]:
-        """Return the chosen node or ``None`` if no powered-on node fits the VM."""
-
-    @staticmethod
-    def _feasible(vm: VirtualMachine, nodes: Sequence[PhysicalNode]) -> List[PhysicalNode]:
-        """Nodes that are powered on and have room for the VM's reservation."""
-        return [node for node in nodes if node.is_available_for_placement and node.fits(vm)]
-
-
-class FirstFitPlacement(PlacementPolicy):
-    """First LC (in id order) with room -- packs hosts, leaving later ones idle."""
-
-    name = "first-fit"
-
-    def select(self, vm: VirtualMachine, nodes: Sequence[PhysicalNode]) -> Optional[PhysicalNode]:
-        feasible = self._feasible(vm, nodes)
-        if not feasible:
-            return None
-        return min(feasible, key=lambda node: node.node_id)
-
-
-class RoundRobinPlacement(PlacementPolicy):
-    """Rotate across LCs -- spreads load, the paper's other example policy."""
-
-    name = "round-robin"
-
-    def __init__(self) -> None:
-        self._next = 0
-
-    def select(self, vm: VirtualMachine, nodes: Sequence[PhysicalNode]) -> Optional[PhysicalNode]:
-        feasible = sorted(self._feasible(vm, nodes), key=lambda node: node.node_id)
-        if not feasible:
-            return None
-        choice = feasible[self._next % len(feasible)]
-        self._next += 1
-        return choice
-
-
-class BestFitPlacement(PlacementPolicy):
-    """LC with the least remaining capacity that still fits the VM (dense packing)."""
-
-    name = "best-fit"
-
-    def select(self, vm: VirtualMachine, nodes: Sequence[PhysicalNode]) -> Optional[PhysicalNode]:
-        feasible = self._feasible(vm, nodes)
-        if not feasible:
-            return None
-
-        def residual_after(node: PhysicalNode) -> float:
-            remaining = node.available().values - vm.requested.values
-            return float(np.sum(remaining / node.capacity.values))
-
-        return min(feasible, key=lambda node: (residual_after(node), node.node_id))
-
-
-class WorstFitPlacement(PlacementPolicy):
-    """LC with the most remaining capacity (load balancing / overload avoidance)."""
-
-    name = "worst-fit"
-
-    def select(self, vm: VirtualMachine, nodes: Sequence[PhysicalNode]) -> Optional[PhysicalNode]:
-        feasible = self._feasible(vm, nodes)
-        if not feasible:
-            return None
-
-        def residual(node: PhysicalNode) -> float:
-            return float(np.sum(node.available().values / node.capacity.values))
-
-        return max(feasible, key=lambda node: (residual(node), node.node_id))
+__all__ = [
+    "PlacementPolicy",
+    "FirstFitPlacement",
+    "BestFitPlacement",
+    "WorstFitPlacement",
+    "RoundRobinPlacement",
+    "make_placement_policy",
+]
 
 
 def make_placement_policy(name: str, **kwargs) -> PlacementPolicy:
-    """Factory keyed by policy name (``first-fit``, ``best-fit``, ``worst-fit``, ``round-robin``)."""
-    registry = {
-        "first-fit": FirstFitPlacement,
-        "best-fit": BestFitPlacement,
-        "worst-fit": WorstFitPlacement,
-        "round-robin": RoundRobinPlacement,
-    }
-    try:
-        cls = registry[name.lower()]
-    except KeyError as exc:
-        raise ValueError(f"unknown placement policy {name!r}; choose from {sorted(registry)}") from exc
-    return cls(**kwargs)
+    """Factory keyed by policy name; unknown names list the registered alternatives."""
+    return make_policy("placement", name, **kwargs)

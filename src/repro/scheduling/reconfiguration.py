@@ -1,134 +1,18 @@
-"""Periodic reconfiguration: consolidation of moderately loaded hosts.
+"""Back-compat shim: reconfiguration now lives in :mod:`repro.policies.reconfiguration`.
 
-Paper Section II.C: "reconfiguration policies can be specified which will be
-called periodically according to the system administrator specified interval
-to further optimize the VM placement of moderately loaded nodes. For example,
-a VM consolidation policy can be enabled to weekly optimize the VM placement
-by packing VMs on as few nodes as possible."
-
-The :class:`ReconfigurationPolicy` glues three pieces together:
-
-1. select the hosts that may participate (powered-on, not overloaded -- the
-   paper restricts reconfiguration to moderately loaded nodes so that hot
-   hosts are handled by overload relocation instead);
-2. run a consolidation algorithm from :mod:`repro.core` (ACO by default, FFD
-   as the baseline) over the participating hosts' VMs;
-3. translate the new placement into an ordered migration plan
-   (:func:`repro.core.migration_plan.plan_migrations`) and report which hosts
-   the plan frees entirely (candidates for suspension).
+The :class:`ReconfigurationPolicy` driver moved into the unified policy
+subsystem, where every :mod:`repro.core` consolidation algorithm (ACO,
+distributed ACO, FFD, BFD, WFD) is registered as a ``reconfiguration`` policy.
+``ReconfigurationPlan`` is an alias of the unified
+:class:`~repro.policies.decisions.MigrationPlan`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from repro.policies.decisions import MigrationPlan as ReconfigurationPlan
+from repro.policies.reconfiguration import ReconfigurationPolicy
 
-from repro.cluster.node import PhysicalNode
-from repro.cluster.vm import VirtualMachine
-from repro.core.base import ConsolidationAlgorithm
-from repro.core.aco import ACOConsolidation
-from repro.core.migration_plan import MigrationPlan, plan_migrations
-from repro.core.placement import Placement, placement_from_nodes
-from repro.scheduling.thresholds import UtilizationThresholds
-
-
-@dataclass
-class ReconfigurationPlan:
-    """Everything a Group Manager needs to execute one reconfiguration round."""
-
-    #: (vm, source node, destination node) triples in execution order.
-    moves: List[tuple] = field(default_factory=list)
-    #: Nodes the plan leaves without any VMs (suspension candidates).
-    released_nodes: List[PhysicalNode] = field(default_factory=list)
-    #: Hosts used before / after, for reporting.
-    hosts_before: int = 0
-    hosts_after: int = 0
-    #: The consolidation algorithm's own result (runtime, iterations, ...).
-    consolidation_summary: dict = field(default_factory=dict)
-
-    @property
-    def empty(self) -> bool:
-        """True if the round proposes no migrations."""
-        return not self.moves
-
-    @property
-    def hosts_saved(self) -> int:
-        """Net reduction in active hosts if the plan executes fully."""
-        return max(0, self.hosts_before - self.hosts_after)
-
-
-class ReconfigurationPolicy:
-    """Periodic consolidation driver used by Group Managers."""
-
-    name = "consolidation"
-
-    def __init__(
-        self,
-        algorithm: Optional[ConsolidationAlgorithm] = None,
-        thresholds: Optional[UtilizationThresholds] = None,
-        max_migrations: Optional[int] = None,
-        include_overloaded: bool = False,
-    ) -> None:
-        self.algorithm = algorithm or ACOConsolidation()
-        self.thresholds = thresholds or UtilizationThresholds()
-        self.max_migrations = max_migrations
-        self.include_overloaded = include_overloaded
-
-    # ------------------------------------------------------------------ run
-    def plan(self, nodes: Sequence[PhysicalNode]) -> ReconfigurationPlan:
-        """Compute a reconfiguration plan over the given Local Controller hosts."""
-        eligible = self._eligible_nodes(nodes)
-        plan = ReconfigurationPlan()
-        vms: List[VirtualMachine] = [vm for node in eligible for vm in node.vms]
-        if len(eligible) < 2 or not vms:
-            return plan
-
-        current, vm_list, node_list = placement_from_nodes(eligible, vms)
-        plan.hosts_before = current.hosts_used()
-
-        result = self.algorithm.consolidate(current)
-        target = result.placement
-        plan.consolidation_summary = result.summary()
-
-        if not (target.fully_assigned and target.is_feasible()):
-            # A consolidation result that cannot be executed is discarded; the
-            # current placement remains in force (fail-safe behaviour).
-            plan.hosts_after = plan.hosts_before
-            return plan
-
-        plan.hosts_after = target.hosts_used()
-        migration_plan: MigrationPlan = plan_migrations(
-            current, target, max_migrations=self.max_migrations
-        )
-        for migration in migration_plan:
-            plan.moves.append(
-                (
-                    vm_list[migration.vm_index],
-                    node_list[migration.source_host],
-                    node_list[migration.target_host],
-                )
-            )
-
-        # Nodes emptied by the executed moves (not merely by the ideal target,
-        # which may be partially deferred).
-        simulated_population = {node.node_id: node.vm_count for node in eligible}
-        for vm, source, destination in plan.moves:
-            simulated_population[source.node_id] -= 1
-            simulated_population[destination.node_id] += 1
-        plan.released_nodes = [
-            node for node in eligible if simulated_population[node.node_id] == 0 and node.vm_count > 0
-        ]
-        return plan
-
-    # -------------------------------------------------------------- selection
-    def _eligible_nodes(self, nodes: Sequence[PhysicalNode]) -> List[PhysicalNode]:
-        """Powered-on hosts allowed to participate in this round."""
-        eligible = []
-        for node in nodes:
-            if not node.is_available_for_placement:
-                continue
-            utilization = node.utilization()
-            if not self.include_overloaded and self.thresholds.is_overloaded(utilization):
-                continue
-            eligible.append(node)
-        return eligible
+__all__ = [
+    "ReconfigurationPolicy",
+    "ReconfigurationPlan",
+]

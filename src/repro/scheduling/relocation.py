@@ -1,198 +1,21 @@
-"""Overload and underload relocation policies.
+"""Back-compat shim: relocation policies now live in :mod:`repro.policies.relocation`.
 
-Paper Section II.C: "relocation policies are called when overload (resp.
-underload) events arrive from LCs and aims at moving VMs away from heavily
-(resp. lightly loaded) nodes":
-
-* **Overload relocation** moves just enough VMs off the hot host to bring its
-  utilization back under the overload threshold, choosing destinations with
-  the most headroom so the problem is not simply pushed elsewhere.
-* **Underload relocation** tries to move *all* VMs off a lightly loaded host
-  onto moderately loaded hosts, so the now-idle host can be suspended by the
-  energy manager -- but only if every VM fits elsewhere (otherwise nothing
-  moves; partially evacuating a host saves no energy).
+The implementations moved into the unified policy subsystem (registered under
+the ``overload-relocation`` / ``underload-relocation`` kinds, vectorized over
+a :class:`~repro.policies.view.ClusterView`).  ``RelocationDecision`` is an
+alias of the unified :class:`~repro.policies.decisions.MigrationPlan`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from repro.policies.relocation import (
+    OverloadRelocationPolicy,
+    RelocationDecision,
+    UnderloadRelocationPolicy,
+)
 
-import numpy as np
-
-from repro.cluster.node import PhysicalNode
-from repro.cluster.vm import VirtualMachine
-from repro.scheduling.thresholds import UtilizationThresholds
-
-
-@dataclass
-class RelocationDecision:
-    """The outcome of a relocation policy: which VM goes where, and why."""
-
-    #: (vm, source node, destination node) triples, in execution order.
-    moves: List[tuple] = field(default_factory=list)
-    #: Human-readable reason when no moves are proposed.
-    reason: str = ""
-
-    @property
-    def empty(self) -> bool:
-        """True if the policy decided not to move anything."""
-        return not self.moves
-
-    def __len__(self) -> int:
-        return len(self.moves)
-
-
-def _cpu_index(node: PhysicalNode) -> int:
-    dims = node.capacity.dimensions
-    return dims.index("cpu") if "cpu" in dims else 0
-
-
-def _node_cpu_utilization(node: PhysicalNode) -> float:
-    index = _cpu_index(node)
-    capacity = node.capacity.values[index]
-    if capacity <= 0:
-        return 0.0
-    return float(node.used().values[index] / capacity)
-
-
-class OverloadRelocationPolicy:
-    """Move the smallest sufficient set of VMs off an overloaded host."""
-
-    name = "overload-relocation"
-
-    def __init__(self, thresholds: Optional[UtilizationThresholds] = None) -> None:
-        self.thresholds = thresholds or UtilizationThresholds()
-
-    def decide(
-        self, source: PhysicalNode, destinations: Sequence[PhysicalNode]
-    ) -> RelocationDecision:
-        """Pick VMs to migrate away from ``source`` and their destinations.
-
-        Strategy (matching the "minimize migrations" spirit of the paper's
-        relocation description): sort the source's VMs by decreasing CPU usage
-        and keep moving the largest one that still has a feasible destination
-        until the source drops below the overload threshold.  Destinations are
-        chosen worst-fit (most headroom first) among nodes that stay below the
-        overload threshold after receiving the VM.
-        """
-        decision = RelocationDecision()
-        cpu = _cpu_index(source)
-        source_capacity = source.capacity.values[cpu]
-        if source_capacity <= 0:
-            decision.reason = "source has no CPU capacity"
-            return decision
-        current_usage = source.used().values[cpu]
-        target_usage = self.thresholds.overload * source_capacity
-        if current_usage <= target_usage:
-            decision.reason = "source not overloaded"
-            return decision
-
-        candidates = [
-            node
-            for node in destinations
-            if node.node_id != source.node_id and node.is_available_for_placement
-        ]
-        # Track the hypothetical load added to each destination by earlier moves.
-        added = {node.node_id: np.zeros(len(node.capacity)) for node in candidates}
-        vms = sorted(source.vms, key=lambda vm: vm.used.values[cpu], reverse=True)
-
-        for vm in vms:
-            if current_usage <= target_usage:
-                break
-            feasible = []
-            for node in candidates:
-                reserved_after = node.reserved().values + added[node.node_id] + vm.requested.values
-                if np.any(reserved_after > node.capacity.values + 1e-9):
-                    continue
-                usage_after = (
-                    node.used().values[cpu] + added[node.node_id][cpu] + vm.used.values[cpu]
-                )
-                if usage_after > self.thresholds.overload * node.capacity.values[cpu]:
-                    continue
-                feasible.append(node)
-            if not feasible:
-                continue
-            # Worst-fit: most CPU headroom after the hypothetical moves so far.
-            destination = max(
-                feasible,
-                key=lambda node: node.capacity.values[cpu]
-                - node.used().values[cpu]
-                - added[node.node_id][cpu],
-            )
-            decision.moves.append((vm, source, destination))
-            added[destination.node_id] += vm.requested.values
-            current_usage -= vm.used.values[cpu]
-
-        if decision.empty:
-            decision.reason = "no feasible destination for any VM"
-        return decision
-
-
-class UnderloadRelocationPolicy:
-    """Evacuate an underloaded host entirely (or not at all) to create idle time."""
-
-    name = "underload-relocation"
-
-    def __init__(self, thresholds: Optional[UtilizationThresholds] = None) -> None:
-        self.thresholds = thresholds or UtilizationThresholds()
-
-    def decide(
-        self, source: PhysicalNode, destinations: Sequence[PhysicalNode]
-    ) -> RelocationDecision:
-        """Move every VM off ``source`` onto moderately loaded destinations, or nothing.
-
-        Destinations must end up *below the overload threshold* and the policy
-        deliberately prefers destinations that are already loaded ("move away
-        VMs to moderately loaded LCs", Section II.C) so that consolidation
-        does not create new lightly-loaded hosts.
-        """
-        decision = RelocationDecision()
-        if source.vm_count == 0:
-            decision.reason = "source already idle"
-            return decision
-        if _node_cpu_utilization(source) >= self.thresholds.underload:
-            decision.reason = "source not underloaded"
-            return decision
-
-        cpu = _cpu_index(source)
-        candidates = [
-            node
-            for node in destinations
-            if node.node_id != source.node_id
-            and node.is_available_for_placement
-            and node.vm_count > 0  # prefer already-busy hosts; empty ones stay suspendable
-        ]
-        if not candidates:
-            decision.reason = "no busy destination hosts available"
-            return decision
-
-        added = {node.node_id: np.zeros(len(node.capacity)) for node in candidates}
-        tentative: List[tuple] = []
-        # Place the biggest VMs first (hardest to fit).
-        for vm in sorted(source.vms, key=lambda vm: vm.requested.values[cpu], reverse=True):
-            feasible = []
-            for node in candidates:
-                reserved_after = node.reserved().values + added[node.node_id] + vm.requested.values
-                if np.any(reserved_after > node.capacity.values + 1e-9):
-                    continue
-                usage_after = (
-                    node.used().values[cpu] + added[node.node_id][cpu] + vm.used.values[cpu]
-                )
-                if usage_after > self.thresholds.overload * node.capacity.values[cpu]:
-                    continue
-                feasible.append(node)
-            if not feasible:
-                decision.reason = f"VM {vm.name} has no feasible destination; aborting evacuation"
-                return decision  # all-or-nothing
-            # Best-fit: most loaded destination that still fits (packs tightly).
-            destination = max(
-                feasible,
-                key=lambda node: (node.used().values[cpu] + added[node.node_id][cpu])
-                / node.capacity.values[cpu],
-            )
-            tentative.append((vm, source, destination))
-            added[destination.node_id] += vm.requested.values
-
-        decision.moves = tentative
-        return decision
+__all__ = [
+    "RelocationDecision",
+    "OverloadRelocationPolicy",
+    "UnderloadRelocationPolicy",
+]

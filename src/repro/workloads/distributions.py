@@ -11,7 +11,7 @@ closer to production traces such as Google's cluster data).
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

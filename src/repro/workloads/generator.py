@@ -11,7 +11,7 @@ Two consumers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +19,7 @@ import numpy as np
 from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
 from repro.cluster.vm import VirtualMachine
 from repro.workloads.distributions import DemandDistribution, UniformDemandDistribution
-from repro.workloads.traces import ConstantTrace, UtilizationTrace
+from repro.workloads.traces import ConstantTrace
 
 
 @dataclass

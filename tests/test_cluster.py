@@ -14,14 +14,13 @@ from repro.cluster.power import (
     PowerStateSpec,
 )
 from repro.cluster.resources import (
-    DEFAULT_DIMENSIONS,
     ResourceError,
     ResourceVector,
     capacity_matrix,
     demand_matrix,
 )
 from repro.cluster.topology import ClusterSpec, build_cluster, homogeneous_nodes
-from repro.cluster.vm import VirtualMachine, VMState
+from repro.cluster.vm import VMState
 from repro.workloads.traces import ConstantTrace, SpikeTrace
 
 from tests.conftest import make_node, make_vm

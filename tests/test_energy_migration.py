@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cluster.node import NodeState
@@ -10,7 +9,6 @@ from repro.cluster.power import PowerStateSpec
 from repro.energy.accounting import EnergyMeter, static_placement_energy
 from repro.energy.power_manager import PowerManagerConfig, PowerStateManager
 from repro.migration.model import MigrationCostModel, MigrationExecutor
-from repro.simulation.engine import Simulator
 from repro.workloads.traces import ConstantTrace
 
 from tests.conftest import make_node, make_vm

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.resources import DEFAULT_DIMENSIONS, ResourceVector
+from repro.cluster.resources import ResourceVector
 from repro.monitoring.collector import HostMonitor, VMMonitor
 from repro.monitoring.estimators import (
     EwmaEstimator,

@@ -9,7 +9,6 @@ from repro.network.message import Message, MessageType
 from repro.network.multicast import MulticastGroup, MulticastRegistry
 from repro.network.rpc import RpcChannel, RpcError
 from repro.network.transport import Network, NetworkConfig
-from repro.simulation.engine import Simulator
 
 
 @pytest.fixture

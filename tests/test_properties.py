@@ -22,7 +22,6 @@ from repro.core.aco import ACOConsolidation, ACOParameters
 from repro.core.base import lower_bound_hosts
 from repro.core.ffd import BestFitDecreasing, FirstFit, FirstFitDecreasing, SortKey
 from repro.core.migration_plan import plan_migrations
-from repro.core.placement import Placement
 from repro.monitoring.estimators import EwmaEstimator, MaxEstimator, MeanEstimator, PercentileEstimator
 from repro.scheduling.thresholds import UtilizationThresholds
 

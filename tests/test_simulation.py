@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.simulation.engine import Event, Simulator, SimulationError
+from repro.simulation.engine import Simulator, SimulationError
 from repro.simulation.process import Process, ProcessKilled
 from repro.simulation.randomness import RandomRouter
 from repro.simulation.timers import PeriodicTimer, Timeout
