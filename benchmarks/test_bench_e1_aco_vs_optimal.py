@@ -15,6 +15,7 @@ import numpy as np
 from repro.core import ACOConsolidation, BranchAndBoundOptimal, FirstFitDecreasing
 from repro.core.aco import ACOParameters
 from repro.metrics.report import ComparisonTable
+from repro.simulation.randomness import spawn_generator
 from repro.workloads import UniformDemandDistribution, consolidation_instance
 
 from benchmarks.conftest import run_once
@@ -40,7 +41,7 @@ def _run_experiment() -> dict:
             optimal = BranchAndBoundOptimal(time_limit_seconds=10.0).solve(demands, capacities)
             ffd = FirstFitDecreasing().solve(demands, capacities)
             aco = ACOConsolidation(
-                ACOParameters(n_ants=10, n_cycles=40), rng=np.random.default_rng(seed + 1000)
+                ACOParameters(n_ants=10, n_cycles=40), rng=spawn_generator(seed, 1)
             ).solve(demands, capacities)
             runs += 1
             optimal_proofs += int(optimal.proved_optimal)

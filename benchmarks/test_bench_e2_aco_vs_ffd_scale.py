@@ -18,6 +18,7 @@ from repro.core import ACOConsolidation, FirstFitDecreasing
 from repro.core.aco import ACOParameters
 from repro.energy.accounting import static_placement_energy
 from repro.metrics.report import ComparisonTable
+from repro.simulation.randomness import spawn_generator
 from repro.workloads import UniformDemandDistribution, consolidation_instance
 
 from benchmarks.conftest import run_once
@@ -52,7 +53,7 @@ def _run_experiment() -> dict:
             )
             ffd = FirstFitDecreasing().solve(demands, capacities)
             aco = ACOConsolidation(
-                ACOParameters(n_ants=8, n_cycles=25), rng=np.random.default_rng(seed + 77)
+                ACOParameters(n_ants=8, n_cycles=25), rng=spawn_generator(seed, 1)
             ).solve(demands, capacities)
             ffd_energy, aco_energy = _energy(ffd), _energy(aco)
             host_savings.append(1.0 - aco.hosts_used / ffd.hosts_used)

@@ -1,0 +1,109 @@
+"""Sweep matrix benchmark -- serial vs parallel execution of a policy grid.
+
+Runs a trimmed ``policy-matrix`` sweep (every placement x reconfiguration
+policy over one churn scenario) twice: once with the serial executor and once
+with the multiprocessing executor, asserting that the two reports are
+byte-identical and recording the wall-clock of both, so the parallel speedup
+is tracked in the bench trajectory alongside the per-experiment ``BENCH_E*``
+files.
+
+The machine-readable summary is ``BENCH_SWEEP_MATRIX.json`` (same
+``REPRO_BENCH_RESULTS`` override and never-fail contract as the others).
+The speedup assertion is gated on the CPUs actually available: on a
+single-core container process-level parallelism cannot win, but correctness
+(identical reports) must hold everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.metrics.report import ComparisonTable
+from repro.sweeps import SweepSpec, get_sweep, run_sweep
+
+from benchmarks.conftest import run_once, write_results_json
+
+SWEEP = "policy-matrix"
+#: Trim the catalog entry to one scenario and shorter runs: enough cells (20)
+#: to amortize pool startup, small enough to keep the tier-1 suite fast.
+SCENARIOS = ["steady-churn"]
+DURATION = 600.0
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+PARALLEL_JOBS = max(2, min(4, _available_cpus()))
+
+
+def _matrix_spec() -> SweepSpec:
+    base = get_sweep(SWEEP).to_dict()
+    return SweepSpec.from_dict({**base, "scenarios": SCENARIOS, "duration": DURATION})
+
+
+def test_sweep_matrix_serial_vs_parallel(benchmark):
+    spec = _matrix_spec()
+
+    def compare() -> dict:
+        start = time.perf_counter()
+        serial = run_sweep(spec, jobs=1)
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_sweep(spec, jobs=PARALLEL_JOBS)
+        parallel_seconds = time.perf_counter() - start
+        return {
+            "serial": serial,
+            "parallel": parallel,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+        }
+
+    outcome = run_once(benchmark, compare)
+    serial, parallel = outcome["serial"], outcome["parallel"]
+    speedup = outcome["serial_seconds"] / max(outcome["parallel_seconds"], 1e-9)
+    cpus = _available_cpus()
+
+    write_results_json(
+        "BENCH_SWEEP_MATRIX.json",
+        {
+            "sweep": SWEEP,
+            "scenarios": SCENARIOS,
+            "duration_seconds": DURATION,
+            "runs": serial.total_runs,
+            "failed_runs": serial.failed,
+            "jobs": PARALLEL_JOBS,
+            "cpus_available": cpus,
+            "serial_seconds": round(outcome["serial_seconds"], 4),
+            "parallel_seconds": round(outcome["parallel_seconds"], 4),
+            "speedup": round(speedup, 4),
+            "reports_identical": serial.to_json() == parallel.to_json(),
+        },
+    )
+
+    table = ComparisonTable(f"Sweep matrix: serial vs parallel ({serial.total_runs} runs)")
+    table.add_row(executor="serial", jobs=1, wall_seconds=round(outcome["serial_seconds"], 3))
+    table.add_row(
+        executor="multiprocessing",
+        jobs=PARALLEL_JOBS,
+        wall_seconds=round(outcome["parallel_seconds"], 3),
+    )
+    table.add_row(executor="speedup", jobs=f"x{speedup:.2f}", wall_seconds="-")
+    table.print()
+
+    assert serial.failed == 0
+    assert parallel.failed == 0
+    # The determinism contract: the job count must never change the report.
+    assert serial.to_json() == parallel.to_json()
+    assert serial.to_csv() == parallel.to_csv()
+    assert speedup > 0
+    # The wall-clock threshold is load-sensitive, so it is only enforced in
+    # the dedicated CI sweeps job (REPRO_BENCH_STRICT=1), never in the plain
+    # tier-1 run where a noisy co-tenant could flake the whole suite.
+    if os.environ.get("REPRO_BENCH_STRICT") == "1" and cpus >= 4:
+        # With real cores behind the pool the matrix must parallelize.
+        assert speedup > 1.5

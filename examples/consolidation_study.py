@@ -24,6 +24,7 @@ from repro.core.aco import ACOParameters
 from repro.core.ffd import SortKey
 from repro.energy.accounting import static_placement_energy
 from repro.metrics.report import ComparisonTable
+from repro.simulation.randomness import spawn_generator
 from repro.workloads import UniformDemandDistribution, consolidation_instance
 
 #: Computation power charged for algorithm runtime (same constant as the E2 bench).
@@ -47,7 +48,7 @@ def small_instance_study(seeds: range) -> None:
         optimal = BranchAndBoundOptimal(time_limit_seconds=10.0).solve(demands, capacities)
         ffd = FirstFitDecreasing().solve(demands, capacities)
         aco = ACOConsolidation(
-            ACOParameters(n_ants=10, n_cycles=40), rng=np.random.default_rng(seed + 1000)
+            ACOParameters(n_ants=10, n_cycles=40), rng=spawn_generator(seed, 1)
         ).solve(demands, capacities)
         deviations["ffd"].append(ffd.hosts_used / optimal.hosts_used - 1.0)
         deviations["aco"].append(aco.hosts_used / optimal.hosts_used - 1.0)
@@ -82,7 +83,7 @@ def scale_study(sizes, seeds: range) -> None:
                 "ffd": FirstFitDecreasing(sort_key=SortKey.SINGLE_DIMENSION),
                 "bfd": BestFitDecreasing(),
                 "aco": ACOConsolidation(
-                    ACOParameters(n_ants=8, n_cycles=25), rng=np.random.default_rng(seed + 500)
+                    ACOParameters(n_ants=8, n_cycles=25), rng=spawn_generator(seed, 1)
                 ),
             }
             results = {name: algo.solve(demands, capacities) for name, algo in algorithms.items()}

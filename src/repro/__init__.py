@@ -37,6 +37,9 @@ __all__ = [
     "energy",
     "migration",
     "hierarchy",
+    "policies",
+    "scenarios",
+    "sweeps",
     "metrics",
     "cli",
 ]

@@ -28,6 +28,12 @@ Sub-commands
     Introspect the unified policy registry (:mod:`repro.policies`):
     ``policy list`` enumerates every registered policy of every kind;
     ``policy describe <kind> <name>`` prints one policy's parameter schema.
+
+``repro-sim sweep``
+    List, describe and run declarative experiment grids
+    (:mod:`repro.sweeps`): ``sweep list``, ``sweep describe <name>``,
+    ``sweep run <name> [--jobs N] [--json] [--policy kind=name ...]
+    [--duration S] [--output PATH] [--csv PATH]``.
 """
 
 from __future__ import annotations
@@ -44,7 +50,10 @@ from repro.core.aco import ACOParameters
 from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
 from repro.metrics.report import ComparisonTable
 from repro.policies import get_policy_spec, iter_policy_specs
+from repro.policies.registry import merge_policy_selections
 from repro.scenarios import ScenarioRunner, ScenarioSpec, get_scenario, iter_scenarios
+from repro.simulation.randomness import spawn_generator
+from repro.sweeps import SweepSpec, get_sweep, iter_sweeps, run_sweep
 from repro.workloads import (
     BatchArrival,
     UniformDemandDistribution,
@@ -132,6 +141,42 @@ def _build_parser() -> argparse.ArgumentParser:
     policy.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="list, describe and run declarative experiment grids"
+    )
+    sweep.add_argument("action", choices=["list", "describe", "run"], help="what to do")
+    sweep.add_argument("name", nargs="?", help="sweep name (for describe/run)")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "parallel worker processes for sweep run "
+            "(default 1 = serial; the report is identical either way)"
+        ),
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
+    )
+    sweep.add_argument(
+        "--policy",
+        action="append",
+        default=[],
+        metavar="KIND=NAME",
+        help=(
+            "force a policy selection across every cell of the grid "
+            "(repeatable), e.g. --policy placement=best-fit"
+        ),
+    )
+    sweep.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the simulated duration of every run (seconds)",
+    )
+    sweep.add_argument("--output", metavar="PATH", help="also write the JSON report to PATH")
+    sweep.add_argument("--csv", metavar="PATH", help="also write the CSV report to PATH")
     return parser
 
 
@@ -148,7 +193,9 @@ def _run_consolidate(args: argparse.Namespace) -> int:
         BestFitDecreasing(),
         ACOConsolidation(
             ACOParameters(n_ants=args.ants, n_cycles=args.cycles),
-            rng=np.random.default_rng(args.seed + 1),
+            # A spawned child of the workload seed: decorrelated from the
+            # instance stream without seed+1 arithmetic.
+            rng=spawn_generator(args.seed, 1),
         ),
     ]
     if args.optimal:
@@ -295,20 +342,155 @@ def _parse_policy_overrides(overrides: List[str]) -> dict:
 
 
 def _apply_policy_overrides(spec, overrides: dict):
-    """A copy of ``spec`` with ``--policy`` overrides applied (validated).
-
-    Overriding a kind with the name it already uses keeps the scenario's tuned
-    parameters; selecting a different policy replaces the whole entry.
-    """
+    """A copy of ``spec`` with ``--policy`` overrides applied (validated)."""
     if not overrides:
         return spec
-    merged = dict(spec.policies)
-    for kind, override in overrides.items():
-        existing = merged.get(kind)
-        if existing is not None and existing.get("name") == override["name"]:
+    return ScenarioSpec.from_dict(
+        {**spec.to_dict(), "policies": merge_policy_selections(spec.policies, overrides)}
+    )
+
+
+# ---------------------------------------------------------------------- sweep
+def _sweep_with_overrides(spec: SweepSpec, overrides: dict, duration) -> SweepSpec:
+    """A copy of ``spec`` with ``--policy``/``--duration`` overrides applied.
+
+    A ``--policy kind=name`` override forces that selection in *every* policy
+    cell of the grid (cells already selecting that name keep their tuned
+    parameters).  The result is revalidated through ``SweepSpec.from_dict``.
+    """
+    if not overrides and duration is None:
+        return spec
+    data = spec.to_dict()
+    if overrides:
+        cells = [merge_policy_selections(cell, overrides) for cell in data["policies"]]
+        # Forcing one selection can collapse distinct cells into duplicates;
+        # keep the first of each so the grid never re-runs identical cells.
+        unique, seen = [], set()
+        for cell in cells:
+            key = json.dumps(cell, sort_keys=True)
+            if key not in seen:
+                seen.add(key)
+                unique.append(cell)
+        data["policies"] = unique
+    if duration is not None:
+        data["duration"] = duration
+    return SweepSpec.from_dict(data)
+
+
+def _run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    # Run-only flags must not silently no-op on list/describe.
+    if args.action != "run":
+        if args.output:
+            parser.error("--output only applies to sweep run")
+        if args.csv:
+            parser.error("--csv only applies to sweep run")
+        if args.jobs is not None:
+            parser.error("--jobs only applies to sweep run")
+    if args.action == "list":
+        if args.policy:
+            parser.error("--policy only applies to sweep run/describe")
+        if args.duration is not None:
+            parser.error("--duration only applies to sweep run/describe")
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "name": spec.name,
+                            "description": spec.description,
+                            "scenarios": spec.scenarios,
+                            "runs": spec.total_runs(),
+                        }
+                        for spec in iter_sweeps()
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        table = ComparisonTable("Sweep catalog")
+        for spec in iter_sweeps():
+            table.add_row(
+                name=spec.name,
+                scenarios=len(spec.scenarios),
+                policy_cells=len(spec.policies),
+                thresholds=len(spec.thresholds),
+                seeds=len(spec.resolved_seeds()),
+                runs=spec.total_runs(),
+                description=spec.description,
+            )
+        table.print()
+        return 0
+
+    if args.name is None:
+        parser.error(f"sweep {args.action} requires a sweep name")
+    jobs = 1 if args.jobs is None else args.jobs
+    if jobs < 1:
+        parser.error("--jobs must be >= 1")
+    try:
+        spec = get_sweep(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    try:
+        spec = _sweep_with_overrides(
+            spec, _parse_policy_overrides(args.policy), args.duration
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.action == "describe":
+        description = dict(spec.to_dict())
+        description["runs"] = spec.total_runs()
+        print(json.dumps(description, indent=2, sort_keys=True))
+        return 0
+
+    report = run_sweep(spec, jobs=jobs)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"Sweep: {spec.name} ({report.total_runs} runs, jobs={jobs})")
+        table = ComparisonTable("aggregates (mean over seeds)")
+        for group in report.aggregates():
+            metrics = group["metrics"]
+            table.add_row(
+                scenario=group["scenario"],
+                policies=group["policies"],
+                thresholds=group["thresholds"],
+                runs=group["runs"],
+                failed=group["failed"],
+                energy_kwh=round(metrics.get("energy_kwh", {}).get("mean", 0.0), 4),
+                migrations=round(metrics.get("migrations", {}).get("mean", 0.0), 2),
+                sla_violations=round(metrics.get("sla_violations", {}).get("mean", 0.0), 2),
+                mean_active_hosts=round(
+                    metrics.get("mean_active_hosts", {}).get("mean", 0.0), 3
+                ),
+            )
+        table.print()
+        total = report.timing.get("wall_seconds_total")
+        if total is not None:
+            print(f"Wall clock: {total:.2f}s with {report.timing.get('jobs', jobs)} job(s)")
+    # File writes come after the report has been printed: an unwritable path
+    # must not discard a grid that just spent the wall-clock to compute.
+    write_error = False
+    for path, render in ((args.output, lambda: report.to_json() + "\n"), (args.csv, report.to_csv)):
+        if not path:
             continue
-        merged[kind] = override
-    return ScenarioSpec.from_dict({**spec.to_dict(), "policies": merged})
+        try:
+            with open(path, "w") as handle:
+                handle.write(render())
+        except OSError as exc:
+            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+            write_error = True
+    if report.failed:
+        for failure in report.failures():
+            print(
+                f"error: run {failure['index']} ({failure['scenario']}, "
+                f"{failure['policies']}): {failure['error']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 1 if write_error else 0
 
 
 # ------------------------------------------------------------------- scenario
@@ -399,6 +581,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_scenario(args, parser)
     if args.command == "policy":
         return _run_policy(args, parser)
+    if args.command == "sweep":
+        return _run_sweep_command(args, parser)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

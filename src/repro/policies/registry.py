@@ -262,6 +262,29 @@ def validate_policy_selection(kind: str, entry: object) -> PolicySpec:
     return spec
 
 
+def merge_policy_selections(
+    policies: Dict[str, Dict[str, object]], overrides: Dict[str, Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """Merge declarative policy overrides over an existing ``policies`` block.
+
+    A *bare* override entry (``{"name": ...}`` only) selecting the name
+    already in use keeps the existing entry's tuned parameters; any other
+    entry replaces the block wholesale.  The one merge rule shared by the CLI
+    (``scenario run --policy``, ``sweep run --policy``) and sweep expansion.
+    """
+    merged = {kind: dict(entry) for kind, entry in policies.items()}
+    for kind, override in overrides.items():
+        existing = merged.get(kind)
+        if (
+            existing is not None
+            and existing.get("name") == override.get("name")
+            and set(override) == {"name"}
+        ):
+            continue
+        merged[kind] = dict(override)
+    return merged
+
+
 def iter_policy_specs(kind: Optional[str] = None) -> Iterator[PolicySpec]:
     """All registered specs (optionally of one kind), in (kind, name) order."""
     kinds = [kind] if kind is not None else policy_kinds()

@@ -77,7 +77,7 @@ class ScenarioRunner:
         if duration is not None and duration <= 0:
             raise ValueError("duration override must be positive")
         if duration is not None:
-            dropped = [event for event in spec.timeline if event.at > duration]
+            dropped = spec.timeline_events_after(duration)
             if dropped:
                 raise ValueError(
                     f"duration override {duration} would drop {len(dropped)} timeline "

@@ -331,3 +331,11 @@ class ScenarioSpec:
     def total_vms(self) -> int:
         """Total VMs submitted across all phases."""
         return sum(phase.vm_count for phase in self.phases)
+
+    def timeline_events_after(self, duration: float) -> List[TimelineEvent]:
+        """Timeline events a ``duration`` override would drop (``at > duration``).
+
+        The one definition of "dropped event" shared by every caller that
+        validates duration overrides (the runner, the sweep engine, tests).
+        """
+        return [event for event in self.timeline if event.at > duration]

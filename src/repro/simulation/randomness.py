@@ -12,9 +12,51 @@ draws from its own named stream derived from a single experiment seed via
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
 
 import numpy as np
+
+
+def spawn_seed_sequences(base_seed: int, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child sequences of ``base_seed`` via ``SeedSequence.spawn``.
+
+    This is the one sanctioned way to derive per-run randomness wherever runs
+    are *enumerated* (sweeps, replicate loops, paired algorithm comparisons).
+    ``seed + i`` arithmetic must not be used for that purpose: nearby integer
+    seeds feed nearly identical entropy pools into the bit generator, so
+    parallel runs can end up with subtly correlated streams.  Spawned child
+    sequences carry distinct ``spawn_key``s and are statistically independent
+    by construction.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return np.random.SeedSequence(int(base_seed)).spawn(int(count))
+
+
+def derive_run_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` independent integer seeds for enumerated runs.
+
+    Each seed is drawn from its own spawned child of ``base_seed`` (see
+    :func:`spawn_seed_sequences`), so the list is deterministic in
+    ``(base_seed, count)`` yet free of the stream-correlation hazard of
+    ``[base_seed + i for i in range(count)]``.
+    """
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0])
+        for child in spawn_seed_sequences(base_seed, count)
+    ]
+
+
+def spawn_generator(base_seed: int, index: int = 0) -> np.random.Generator:
+    """A generator seeded from the ``index``-th spawned child of ``base_seed``.
+
+    Replaces ad-hoc ``default_rng(seed + offset)`` derivations at call sites
+    that need a second stream decorrelated from ``default_rng(base_seed)``.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    children = np.random.SeedSequence(int(base_seed)).spawn(int(index) + 1)
+    return np.random.default_rng(children[index])
 
 
 class RandomRouter:

@@ -1,0 +1,53 @@
+"""Sweep engine: declarative experiment grids over the scenario catalog.
+
+The paper's evaluation is a grid -- algorithms x cluster sizes x workloads --
+and this package turns "a grid" into data the way :mod:`repro.scenarios`
+turned "an experiment" into data:
+
+* :class:`~repro.sweeps.spec.SweepSpec` declares the axes (scenario names,
+  policy-override cells, threshold grids, seeds or spawn-derived replicates)
+  and expands them into :class:`~repro.sweeps.spec.RunSpec` cells;
+* :mod:`repro.sweeps.executor` runs the cells serially or across a
+  ``multiprocessing`` pool, with per-run failure isolation and seeds derived
+  once via ``numpy.random.SeedSequence.spawn``;
+* :class:`~repro.sweeps.report.SweepReport` aggregates per-run
+  :class:`~repro.scenarios.runner.ScenarioResult` data into per-cell metrics
+  (energy, migrations, SLA violations, packing) with JSON and CSV output whose
+  bytes are independent of the job count;
+* :mod:`repro.sweeps.catalog` names ready-made grids (``smoke-2x2``,
+  ``paper-e5-grid``, ``policy-matrix``).
+
+Use ``repro-sim sweep list|describe|run --jobs N`` from the CLI, or::
+
+    from repro.sweeps import get_sweep, run_sweep
+    report = run_sweep(get_sweep("smoke-2x2"), jobs=4)
+    print(report.to_json())
+"""
+
+from repro.sweeps.spec import RunSpec, SweepSpec, policy_cell_label, thresholds_label
+from repro.sweeps.executor import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    execute_run,
+    make_executor,
+)
+from repro.sweeps.report import SweepReport
+from repro.sweeps.engine import run_sweep
+from repro.sweeps.catalog import get_sweep, iter_sweeps, register_sweep, sweep_names
+
+__all__ = [
+    "SweepSpec",
+    "RunSpec",
+    "policy_cell_label",
+    "thresholds_label",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "execute_run",
+    "make_executor",
+    "SweepReport",
+    "run_sweep",
+    "register_sweep",
+    "sweep_names",
+    "get_sweep",
+    "iter_sweeps",
+]

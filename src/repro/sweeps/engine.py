@@ -1,0 +1,31 @@
+"""The one-call sweep entry point: expand, execute, aggregate."""
+
+from __future__ import annotations
+
+import time
+
+from repro.sweeps.executor import make_executor
+from repro.sweeps.report import SweepReport
+from repro.sweeps.spec import SweepSpec
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1, executor=None) -> SweepReport:
+    """Execute every cell of ``spec`` and return the aggregated report.
+
+    ``jobs`` selects the backend (1 = in-process serial, >1 = multiprocessing
+    pool); an explicit ``executor`` (anything with a ``map(payloads)`` method)
+    overrides it.  The report's deterministic content is independent of the
+    backend; wall-clock timing is reported separately in ``report.timing``.
+    """
+    if executor is None:
+        executor = make_executor(jobs)
+    runs = spec.expand()
+    start = time.perf_counter()
+    outcomes = executor.map([run.to_dict() for run in runs])
+    wall = time.perf_counter() - start
+    return SweepReport.from_outcomes(
+        spec,
+        outcomes,
+        jobs=getattr(executor, "jobs", jobs),
+        wall_seconds=wall,
+    )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli.main import main
@@ -71,3 +73,112 @@ class TestHierarchyCommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCommand:
+    #: smoke-2x2 trimmed further so every CLI run stays sub-second.
+    RUN_ARGS = ["sweep", "run", "smoke-2x2", "--duration", "300"]
+
+    def test_list_prints_catalog(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke-2x2" in output
+        assert "policy-matrix" in output
+        assert "paper-e5-grid" in output
+
+    def test_list_json_is_parseable(self, capsys):
+        assert main(["sweep", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in entries}
+        assert "smoke-2x2" in names
+        assert all(entry["runs"] > 0 for entry in entries)
+
+    def test_describe_emits_spec_and_run_count(self, capsys):
+        assert main(["sweep", "describe", "smoke-2x2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "smoke-2x2"
+        assert data["runs"] == 4
+        assert data["scenarios"] == ["flash-crowd", "steady-churn"]
+
+    def test_describe_requires_a_name(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "describe"])
+
+    def test_unknown_sweep_name_lists_alternatives(self, capsys):
+        assert main(["sweep", "run", "no-such-sweep"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown sweep" in err
+        assert "smoke-2x2" in err
+
+    def test_run_json_report(self, capsys):
+        assert main(self.RUN_ARGS + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sweep"] == "smoke-2x2"
+        assert report["total_runs"] == 4
+        assert report["failed_runs"] == 0
+        assert all(run["status"] == "ok" for run in report["runs"])
+
+    def test_run_human_output_has_aggregates_and_timing(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "aggregates" in output
+        assert "Wall clock" in output
+
+    def test_run_parallel_matches_serial(self, capsys):
+        assert main(self.RUN_ARGS + ["--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.RUN_ARGS + ["--json", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_policy_override_forces_every_cell(self, capsys):
+        assert main(self.RUN_ARGS + ["--json", "--policy", "placement=worst-fit"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        # Forcing one placement collapses the 2x2 grid to one cell per scenario.
+        assert report["total_runs"] == 2
+        for run in report["runs"]:
+            assert run["resolved_policies"]["placement"] == "worst-fit"
+
+    def test_policy_override_rejects_unknown_policy(self, capsys):
+        assert main(self.RUN_ARGS + ["--policy", "placement=bogus"]) == 1
+        assert "unknown placement policy" in capsys.readouterr().err
+
+    def test_policy_override_rejects_bad_format(self, capsys):
+        assert main(self.RUN_ARGS + ["--policy", "placement"]) == 1
+        assert "KIND=NAME" in capsys.readouterr().err
+
+    def test_policy_flag_invalid_for_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "list", "--policy", "placement=best-fit"])
+
+    def test_run_only_flags_rejected_for_list_and_describe(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "list", "--csv", "catalog.csv"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "describe", "smoke-2x2", "--output", "spec.json"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "list", "--duration", "100"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "describe", "smoke-2x2", "--jobs", "2"])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "smoke-2x2", "--jobs", "0"])
+
+    def test_unwritable_output_path_still_prints_report(self, tmp_path, capsys):
+        bad = tmp_path / "missing-dir" / "report.json"
+        assert main(self.RUN_ARGS + ["--json", "--output", str(bad)]) == 1
+        captured = capsys.readouterr()
+        # The computed report reaches stdout even though the write failed.
+        assert json.loads(captured.out)["total_runs"] == 4
+        assert "cannot write" in captured.err
+
+    def test_output_and_csv_files_written(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        csv_path = tmp_path / "report.csv"
+        assert main(self.RUN_ARGS + ["--output", str(out), "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        assert report["total_runs"] == 4
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("index,scenario,policies")
+        assert len(lines) == 5

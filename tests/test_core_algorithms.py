@@ -15,6 +15,7 @@ from repro.core.ffd import (
     WorstFitDecreasing,
 )
 from repro.core.optimal import BranchAndBoundOptimal
+from repro.simulation.randomness import spawn_generator
 from repro.core.placement import PlacementError
 from repro.workloads import UniformDemandDistribution, consolidation_instance
 
@@ -133,7 +134,7 @@ class TestACO:
             )
             ffd = FirstFitDecreasing().solve(demands, capacities)
             aco = ACOConsolidation(
-                ACOParameters(n_ants=6, n_cycles=20), rng=np.random.default_rng(seed + 100)
+                ACOParameters(n_ants=6, n_cycles=20), rng=spawn_generator(seed, 1)
             ).solve(demands, capacities)
             assert aco.feasible
             if aco.hosts_used < ffd.hosts_used:
@@ -244,7 +245,7 @@ class TestBranchAndBoundOptimal:
             )
             optimal = BranchAndBoundOptimal(time_limit_seconds=10.0).solve(demands, capacities)
             aco = ACOConsolidation(
-                ACOParameters(n_ants=8, n_cycles=40), rng=np.random.default_rng(seed + 10)
+                ACOParameters(n_ants=8, n_cycles=40), rng=spawn_generator(seed, 1)
             ).solve(demands, capacities)
             deviations.append(aco.hosts_used / optimal.hosts_used - 1.0)
         assert np.mean(deviations) <= 0.10  # within 10 % of optimal on average

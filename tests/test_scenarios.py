@@ -138,6 +138,30 @@ class TestCatalog:
         assert any(spec.node_classes for spec in specs.values())
 
 
+def _golden_duration(spec: ScenarioSpec, cap: float = 1500.0) -> float:
+    """A capped duration that never drops scripted timeline events."""
+    candidate = min(spec.duration, cap)
+    if spec.timeline_events_after(candidate):
+        return spec.duration
+    return candidate
+
+
+class TestGoldenCatalogDeterminism:
+    """Every catalog scenario is byte-identical under a fixed seed.
+
+    This is the golden-determinism sweep the sweep engine's jobs-independence
+    contract builds on: if any single scenario were nondeterministic, parallel
+    and serial sweep reports could not match.
+    """
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_catalog_scenario_byte_identical_across_runs(self, name):
+        duration = _golden_duration(get_scenario(name))
+        first = run_scenario(get_scenario(name), seed=7, duration=duration)
+        second = run_scenario(get_scenario(name), seed=7, duration=duration)
+        assert first.to_json() == second.to_json()
+
+
 class TestScenarioRunner:
     def test_churn_departures_observable_in_result(self):
         result = run_scenario(_small_churn_spec(), seed=1)

@@ -1,0 +1,314 @@
+"""Tests for the sweep engine: spec expansion, executors, reports, catalog."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.simulation.randomness import derive_run_seeds, spawn_generator
+from repro.sweeps import (
+    MultiprocessExecutor,
+    RunSpec,
+    SerialExecutor,
+    SweepReport,
+    SweepSpec,
+    execute_run,
+    get_sweep,
+    iter_sweeps,
+    make_executor,
+    run_sweep,
+    sweep_names,
+)
+from repro.sweeps.report import KEY_COLUMNS, METRIC_COLUMNS
+
+
+def _tiny_sweep(**overrides) -> SweepSpec:
+    """A 2-scenario x 2-policy grid small enough for sub-second runs."""
+    base = dict(
+        name="tiny",
+        scenarios=["steady-churn", "flash-crowd"],
+        policies=[{}, {"placement": {"name": "best-fit"}}],
+        seeds=[7],
+        duration=300.0,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+# ----------------------------------------------------------------------- spec
+class TestSweepSpec:
+    def test_round_trips_through_json(self):
+        spec = _tiny_sweep(
+            thresholds=[None, {"underload": 0.3, "overload": 0.8}],
+            config={"monitoring_interval": 30.0},
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert SweepSpec.from_dict(data).to_dict() == spec.to_dict()
+
+    def test_expand_is_the_full_cross_product_in_order(self):
+        spec = _tiny_sweep(
+            thresholds=[None, {"underload": 0.3, "overload": 0.8}], seeds=[1, 2]
+        )
+        runs = spec.expand()
+        assert len(runs) == spec.total_runs() == 2 * 2 * 2 * 2
+        assert [run.index for run in runs] == list(range(16))
+        # Scenario is the outermost axis, seed the innermost.
+        assert [run.scenario for run in runs[:8]] == ["steady-churn"] * 8
+        assert [run.seed for run in runs[:4]] == [1, 2, 1, 2]
+
+    def test_unknown_scenario_rejected_with_suggestions(self):
+        with pytest.raises(ValueError, match="unknown scenario.*available"):
+            _tiny_sweep(scenarios=["no-such-scenario"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            _tiny_sweep(policies=[{"placement": {"name": "bogus"}}])
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="underload"):
+            _tiny_sweep(thresholds=[{"underload": 0.9, "overload": 0.2}])
+        with pytest.raises(ValueError, match="needs"):
+            _tiny_sweep(thresholds=[{"underload": 0.2}])
+        with pytest.raises(ValueError, match="unknown thresholds key"):
+            _tiny_sweep(
+                thresholds=[{"underload": 0.2, "overload": 0.8, "overlad": 0.9}]
+            )
+
+    def test_threshold_values_normalized_to_floats(self):
+        # JSON may deliver numbers as strings; they must never survive to the
+        # report/label layer as non-numeric values.
+        spec = _tiny_sweep(thresholds=[{"underload": "0.3", "overload": "0.8"}])
+        assert spec.thresholds == [{"underload": 0.3, "overload": 0.8}]
+        from repro.sweeps import thresholds_label
+
+        assert thresholds_label(spec.expand()[0].thresholds) == "0.3/0.8"
+
+    def test_policy_cell_labels_distinguish_parameters(self):
+        from repro.sweeps import policy_cell_label
+
+        small = {"reconfiguration": {"name": "aco", "n_ants": 4}}
+        large = {"reconfiguration": {"name": "aco", "n_ants": 16}}
+        assert policy_cell_label(small) != policy_cell_label(large)
+        assert policy_cell_label(small) == "reconfiguration=aco[n_ants=4]"
+        assert policy_cell_label({}) == "defaults"
+        # Parameter-differing cells must land in distinct aggregate groups.
+        report = run_sweep(
+            _tiny_sweep(scenarios=["steady-churn"], policies=[small, large]), jobs=1
+        )
+        assert len(report.aggregates()) == 2
+
+    def test_duration_override_must_keep_timeline_events(self):
+        with pytest.raises(ValueError, match="timeline"):
+            _tiny_sweep(scenarios=["rolling-node-failures"], duration=300.0)
+
+    def test_run_spec_round_trips(self):
+        run = _tiny_sweep().expand()[1]
+        assert RunSpec.from_dict(json.loads(json.dumps(run.to_dict()))) == run
+
+    def test_build_scenario_spec_merges_overrides(self):
+        spec = _tiny_sweep(
+            thresholds=[{"underload": 0.3, "overload": 0.8}],
+            config={"monitoring_interval": 45.0},
+        )
+        run = spec.expand()[1]  # steady-churn, best-fit cell
+        scenario = run.build_scenario_spec()
+        assert scenario.policies["placement"]["name"] == "best-fit"
+        assert scenario.config["thresholds"] == {"underload": 0.3, "overload": 0.8}
+        assert scenario.config["monitoring_interval"] == 45.0
+        # The underlying catalog entry is untouched.
+        assert "thresholds" not in get_scenario("steady-churn").config
+
+    def test_bare_same_name_cell_keeps_scenario_tuned_params(self):
+        # aco-consolidation-cycle tunes its aco reconfiguration policy; a
+        # bare {"name": "aco"} cell (what `sweep run --policy` produces) must
+        # keep those parameters, while a cell with params replaces them.
+        tuned = get_scenario("aco-consolidation-cycle").policies["reconfiguration"]
+        assert tuned.get("n_ants") == 6
+        spec = SweepSpec(
+            name="bare",
+            scenarios=["aco-consolidation-cycle"],
+            policies=[
+                {"reconfiguration": {"name": "aco"}},
+                {"reconfiguration": {"name": "aco", "n_ants": 2, "n_cycles": 3}},
+            ],
+        )
+        bare, explicit = (run.build_scenario_spec() for run in spec.expand())
+        assert bare.policies["reconfiguration"] == tuned
+        assert explicit.policies["reconfiguration"] == {
+            "name": "aco",
+            "n_ants": 2,
+            "n_cycles": 3,
+        }
+
+
+# ----------------------------------------------------------- seed derivation
+class TestRunSeedDerivation:
+    def test_replicates_use_seedsequence_spawn_not_seed_arithmetic(self):
+        seeds = derive_run_seeds(123, 5)
+        assert len(seeds) == len(set(seeds)) == 5
+        # Regression: the historical hazard was seed+i enumeration.
+        assert seeds != [123 + i for i in range(5)]
+        expected = [
+            int(child.generate_state(1, dtype=np.uint64)[0])
+            for child in np.random.SeedSequence(123).spawn(5)
+        ]
+        assert seeds == expected
+
+    def test_derivation_is_deterministic_and_prefix_stable(self):
+        assert derive_run_seeds(9, 4) == derive_run_seeds(9, 4)
+        assert derive_run_seeds(9, 4)[:2] == derive_run_seeds(9, 2)
+
+    def test_spawned_streams_are_decorrelated(self):
+        seeds = derive_run_seeds(0, 2)
+        a = np.random.default_rng(seeds[0]).random(512)
+        b = np.random.default_rng(seeds[1]).random(512)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.2
+
+    def test_spawn_generator_differs_from_base_stream(self):
+        base = np.random.default_rng(5).random(8)
+        child = spawn_generator(5, 1).random(8)
+        assert not np.allclose(base, child)
+
+    def test_sweep_spec_replicates_axis_is_spawn_derived(self):
+        spec = _tiny_sweep(replicates=3, base_seed=42)
+        assert spec.resolved_seeds() == derive_run_seeds(42, 3)
+        assert {run.base_seed for run in spec.expand()} == {42}
+
+
+# ------------------------------------------------------------------ executors
+class TestExecutors:
+    def test_make_executor_selects_backend(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(3), MultiprocessExecutor)
+        with pytest.raises(ValueError):
+            make_executor(0)
+
+    def test_failure_is_isolated_to_its_run(self):
+        spec = _tiny_sweep()
+        payloads = [run.to_dict() for run in spec.expand()[:2]]
+        payloads[0] = {**payloads[0], "scenario": "does-not-exist"}
+        outcomes = SerialExecutor().map(payloads)
+        assert outcomes[0]["status"] == "failed"
+        assert "does-not-exist" in outcomes[0]["error"]
+        assert outcomes[1]["status"] == "ok"
+
+    def test_execute_run_never_raises_on_bad_payload(self):
+        outcome = execute_run({"index": 0})  # missing required keys
+        assert outcome["status"] == "failed"
+        assert outcome["error"]
+
+    def test_serial_and_parallel_reports_are_byte_identical(self):
+        spec = _tiny_sweep()
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2)
+        assert serial.failed == parallel.failed == 0
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_csv() == parallel.to_csv()
+
+
+# -------------------------------------------------------------------- report
+class TestSweepReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> SweepReport:
+        return run_sweep(_tiny_sweep(), jobs=1)
+
+    def test_report_shape(self, report):
+        assert report.total_runs == 4
+        assert report.failed == 0
+        data = report.to_dict()
+        assert data["sweep"] == "tiny"
+        assert len(data["runs"]) == 4
+        assert {run["policies"] for run in data["runs"]} == {
+            "defaults",
+            "placement=best-fit",
+        }
+        for run in data["runs"]:
+            assert set(METRIC_COLUMNS) <= set(run["metrics"])
+            assert run["resolved_policies"]["placement"] in {"first-fit", "best-fit"}
+
+    def test_report_json_has_no_wall_clock(self, report):
+        assert "wall" not in report.to_json()
+        assert report.timing["jobs"] == 1
+        assert len(report.timing["run_wall_seconds"]) == 4
+
+    def test_aggregates_group_over_seeds(self):
+        report = run_sweep(_tiny_sweep(scenarios=["steady-churn"], seeds=[1, 2]), jobs=1)
+        groups = report.aggregates()
+        assert len(groups) == 2  # one per policy cell
+        for group in groups:
+            assert group["runs"] == 2
+            energy = group["metrics"]["energy_kwh"]
+            assert energy["min"] <= energy["mean"] <= energy["max"]
+
+    def test_csv_layout(self, report):
+        lines = report.to_csv().splitlines()
+        assert lines[0] == ",".join(KEY_COLUMNS + METRIC_COLUMNS)
+        assert len(lines) == 1 + report.total_runs
+
+    def test_incomplete_failed_payload_degrades_to_failed_row(self):
+        spec = _tiny_sweep()
+        outcome = execute_run({"index": 0})  # junk payload, isolated failure
+        report = SweepReport.from_outcomes(spec, [outcome])
+        assert report.failed == 1
+        assert report.runs[0]["scenario"] == "?"
+        assert report.to_json()  # aggregation and serialization survive
+
+    def test_partial_payload_labels_never_crash_report(self):
+        from repro.sweeps import policy_cell_label, thresholds_label
+
+        # Partial thresholds / nameless policy entries render placeholders.
+        assert thresholds_label({"overload": 0.8}) == "?/0.8"
+        assert policy_cell_label({"placement": {}}) == "placement=?"
+        # Non-dict junk (possible in a failed run's payload) must not raise.
+        assert policy_cell_label({"placement": "best-fit"}) == "placement='best-fit'"
+        assert thresholds_label("bogus") == "bogus"
+        spec = _tiny_sweep()
+        outcome = execute_run(
+            {
+                "index": 0,
+                "scenario": "steady-churn",
+                "policies": {},
+                "thresholds": {"overload": 0.8},
+                "base_seed": 0,
+                "seed": 0,
+            }
+        )
+        report = SweepReport.from_outcomes(spec, [outcome])
+        assert report.to_json()
+
+    def test_failed_runs_are_reported_with_errors(self):
+        spec = _tiny_sweep()
+        payloads = [run.to_dict() for run in spec.expand()]
+        payloads[1] = {**payloads[1], "scenario": "broken"}
+        outcomes = SerialExecutor().map(payloads)
+        report = SweepReport.from_outcomes(spec, outcomes)
+        assert report.failed == 1
+        assert report.failures()[0]["error"]
+        assert report.to_csv().count("failed") == 1
+
+
+# ------------------------------------------------------------------- catalog
+class TestSweepCatalog:
+    def test_expected_entries_present(self):
+        assert {"smoke-2x2", "paper-e5-grid", "policy-matrix"} <= set(sweep_names())
+
+    def test_every_entry_is_valid_and_round_trips(self):
+        for spec in iter_sweeps():
+            assert spec.total_runs() > 0
+            assert SweepSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_policy_matrix_crosses_the_registries(self):
+        from repro.policies import policy_names
+
+        spec = get_sweep("policy-matrix")
+        placements = {cell["placement"]["name"] for cell in spec.policies}
+        reconfigurations = {cell["reconfiguration"]["name"] for cell in spec.policies}
+        assert placements == set(policy_names("placement"))
+        assert reconfigurations == set(policy_names("reconfiguration"))
+
+    def test_unknown_sweep_lists_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get_sweep("missing")
