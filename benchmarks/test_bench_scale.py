@@ -1,0 +1,222 @@
+"""Scale benchmark: the vectorized hot path vs the scalar reference path.
+
+For fleets of 100 / 500 / 2000 Local Controllers the same churn scenario runs
+twice from one seed:
+
+* **old path** -- ``telemetry="objects"``, ``coalesce_events=False``: per-VM
+  sample objects, one timer event per LC per interval, one Timeout per
+  heartbeat peer, one delivery event per message (the pre-optimization event
+  structure);
+* **new path** -- ``telemetry="arrays"``, ``coalesce_events=True`` (the
+  defaults): the shared TelemetryPlane, coalesced tick groups, deadline
+  tables and batched deliveries.
+
+Both paths must produce **byte-identical** ScenarioResults (asserted) -- the
+benchmark measures pure mechanical speed on identical simulated behaviour.
+
+Throughput is reported as *events per second*: simulator events of the
+reference path retired per wall-clock second.  The workload is fixed, so the
+reference path's event count measures it for both paths (the optimized path
+completes the same simulated work with fewer, cheaper events; crediting it
+with its own smaller count would reward doing the same work in fewer events
+with a *lower* score).  ``improvement`` is therefore exactly the wall-clock
+speedup.
+
+Results land in ``benchmarks/results/BENCH_SCALE.json`` (per-fleet entries
+are merged across invocations).  The default run covers the 100-LC point so
+the tier-1 suite stays fast; set ``REPRO_BENCH_SCALE_FLEETS=100,500,2000``
+for the full sweep.  With ``REPRO_BENCH_STRICT=1`` the 100-LC point is gated
+against the committed baseline (``benchmarks/BENCH_SCALE_BASELINE.json``):
+the run fails if events/sec regresses more than 2x below it (CI's ``scale``
+job runs exactly this).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+from pathlib import Path
+
+from repro.metrics.report import ComparisonTable
+from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadPhase
+
+from benchmarks.conftest import results_path, write_results_json
+
+#: Committed regression baseline for the CI-gated 100-LC point.
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_SCALE_BASELINE.json"
+
+#: Fleet sizes and per-fleet workload sizing (duration shrinks as fleets grow
+#: so every point stays laptop-sized; throughput is per-second anyway).
+FLEETS = {
+    100: {"group_managers": 4, "vms": 120, "duration": 600.0},
+    500: {"group_managers": 8, "vms": 600, "duration": 240.0},
+    2000: {"group_managers": 16, "vms": 2000, "duration": 120.0},
+}
+
+SEED = 2012
+
+
+def _configured_fleets() -> list:
+    raw = os.environ.get("REPRO_BENCH_SCALE_FLEETS", "100")
+    fleets = sorted({int(token) for token in raw.split(",") if token.strip()})
+    unknown = [fleet for fleet in fleets if fleet not in FLEETS]
+    if unknown:
+        raise ValueError(f"unknown fleet size(s) {unknown}; choose from {sorted(FLEETS)}")
+    return fleets
+
+
+def _fleet_spec(lcs: int, telemetry: str, coalesce: bool) -> ScenarioSpec:
+    sizing = FLEETS[lcs]
+    return ScenarioSpec(
+        name=f"bench-scale-{lcs}",
+        description="scale benchmark cell",
+        duration=sizing["duration"],
+        local_controllers=lcs,
+        group_managers=sizing["group_managers"],
+        nodes_per_rack=40,
+        record_interval=60.0,
+        config={
+            # Deterministic network: identical behaviour on both paths and the
+            # delivery-batching fast path is reachable on the new one.
+            "network": {"base_latency": 0.001, "jitter": 0.0, "loss_probability": 0.0},
+            "telemetry": telemetry,
+            "coalesce_events": coalesce,
+        },
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=sizing["vms"],
+                arrival={"kind": "poisson", "rate_per_hour": 3600.0 * sizing["vms"] / sizing["duration"] / 2.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.7},
+                lifetime={"kind": "exponential", "mean": sizing["duration"] / 3.0, "minimum": 30.0},
+            )
+        ],
+    )
+
+
+#: Timed repetitions per path; the fastest wall clock is kept (standard
+#: benchmarking practice: the minimum is the least noise-contaminated sample).
+ROUNDS = 2
+
+
+def _run_path(lcs: int, telemetry: str, coalesce: bool) -> dict:
+    wall = None
+    result = None
+    events = 0
+    for _ in range(ROUNDS):
+        runner = ScenarioRunner(_fleet_spec(lcs, telemetry, coalesce), seed=SEED)
+        gc.collect()
+        gc.disable()
+        try:
+            result = runner.run()
+        finally:
+            gc.enable()
+        events = runner.system.sim.processed_events
+        round_wall = result.perf["wall_clock_seconds"]
+        wall = round_wall if wall is None else min(wall, round_wall)
+    return {
+        "wall_clock_seconds": round(wall, 4),
+        "processed_events": int(events),
+        "raw_events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
+        "_canonical": result.canonical_json(),
+        "_wall": wall,
+    }
+
+
+def _measure_fleet(lcs: int) -> dict:
+    sizing = FLEETS[lcs]
+    old = _run_path(lcs, telemetry="objects", coalesce=False)
+    new = _run_path(lcs, telemetry="arrays", coalesce=True)
+    identical = old.pop("_canonical") == new.pop("_canonical")
+    wall_old, wall_new = old.pop("_wall"), new.pop("_wall")
+    reference_events = old["processed_events"]
+    eps_old = reference_events / wall_old if wall_old > 0 else 0.0
+    eps_new = reference_events / wall_new if wall_new > 0 else 0.0
+    return {
+        "local_controllers": lcs,
+        "group_managers": sizing["group_managers"],
+        "vms": sizing["vms"],
+        "simulated_seconds": sizing["duration"],
+        "seed": SEED,
+        "old": old,
+        "new": new,
+        "events_per_second": {"old": round(eps_old, 1), "new": round(eps_new, 1)},
+        "events_per_second_definition": (
+            "reference-path simulator events retired per wall-clock second; "
+            "the fixed workload is measured by the reference path's event "
+            "count, so improvement equals the wall-clock speedup"
+        ),
+        "improvement": round(eps_new / eps_old, 2) if eps_old > 0 else 0.0,
+        "results_identical": identical,
+    }
+
+
+def _merge_results(entries: dict) -> None:
+    path = results_path("BENCH_SCALE.json")
+    summary = {"benchmark": "scale", "fleets": {}}
+    if path is not None and path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing.get("fleets"), dict):
+                summary = existing
+        except (json.JSONDecodeError, OSError):
+            pass
+    summary["fleets"].update({str(lcs): entry for lcs, entry in entries.items()})
+    write_results_json("BENCH_SCALE.json", summary)
+
+
+def test_scale_vectorized_vs_scalar_path(benchmark):
+    entries = {}
+    table = ComparisonTable("Hot-path scale: scalar/per-event vs vectorized/coalesced")
+
+    def run_all():
+        for lcs in _configured_fleets():
+            entries[lcs] = _measure_fleet(lcs)
+        return [
+            {
+                "lcs": entry["local_controllers"],
+                "events_per_second_old": entry["events_per_second"]["old"],
+                "events_per_second_new": entry["events_per_second"]["new"],
+                "improvement": entry["improvement"],
+            }
+            for entry in entries.values()
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)
+    for entry in entries.values():
+        table.add_row(
+            lcs=entry["local_controllers"],
+            wall_old_s=entry["old"]["wall_clock_seconds"],
+            wall_new_s=entry["new"]["wall_clock_seconds"],
+            events_old=entry["old"]["processed_events"],
+            events_new=entry["new"]["processed_events"],
+            eps_old=entry["events_per_second"]["old"],
+            eps_new=entry["events_per_second"]["new"],
+            improvement=entry["improvement"],
+            identical=entry["results_identical"],
+        )
+    table.print()
+    _merge_results(entries)
+
+    # The optimization must be a pure refactor: byte-identical results.
+    for entry in entries.values():
+        assert entry["results_identical"], (
+            f"old/new paths diverged at {entry['local_controllers']} LCs"
+        )
+        assert entry["improvement"] > 0
+    assert rows
+
+    # CI regression gate: the 100-LC point must stay within 2x of the
+    # committed baseline (only enforced in strict mode so cold laptops and
+    # busy CI runners do not flake the tier-1 suite).
+    if os.environ.get("REPRO_BENCH_STRICT") and 100 in entries:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = baseline["events_per_second"] / 2.0
+        measured = entries[100]["events_per_second"]["new"]
+        assert measured >= floor, (
+            f"events/sec regression at 100 LCs: measured {measured:.0f}, "
+            f"baseline {baseline['events_per_second']:.0f} (floor {floor:.0f}); "
+            "if the slowdown is intentional, refresh benchmarks/BENCH_SCALE_BASELINE.json"
+        )

@@ -54,6 +54,13 @@ class PhysicalNode:
         self.node_class: Optional[str] = None
         self.state = NodeState.ON
         self._vms: Dict[int, VirtualMachine] = {}
+        #: Cached sum of hosted VM reservations; invalidated whenever the VM
+        #: set changes (reservations themselves are immutable after creation).
+        self._reserved_cache: Optional[np.ndarray] = None
+        #: Cached sum of hosted VM usage vectors; invalidated on VM set
+        #: changes and -- via the ``VirtualMachine.used`` setter and the
+        #: host-node back-reference -- whenever any hosted VM's usage moves.
+        self._used_cache: Optional[np.ndarray] = None
         #: Simulated time at which the node last became idle (no VMs); used by
         #: the energy manager's idle-time threshold.
         self.idle_since: Optional[float] = 0.0
@@ -77,23 +84,31 @@ class PhysicalNode:
         """True if the VM is currently placed here."""
         return vm.vm_id in self._vms
 
+    def reserved_values(self) -> np.ndarray:
+        """Reserved capacity as a raw array (cached; callers must not mutate it)."""
+        if self._reserved_cache is None:
+            total = np.zeros(len(self.capacity))
+            for vm in self._vms.values():
+                total += vm.requested.values
+            self._reserved_cache = total
+        return self._reserved_cache
+
     def reserved(self) -> ResourceVector:
         """Sum of the *requested* vectors of hosted VMs (admission-control view)."""
-        if not self._vms:
-            return ResourceVector.zeros(self.capacity.dimensions)
-        total = np.zeros(len(self.capacity))
-        for vm in self._vms.values():
-            total += vm.requested.values
-        return ResourceVector(total, self.capacity.dimensions)
+        return ResourceVector(self.reserved_values().copy(), self.capacity.dimensions)
+
+    def used_values(self) -> np.ndarray:
+        """Used capacity as a raw array (cached; callers must not mutate it)."""
+        if self._used_cache is None:
+            total = np.zeros(len(self.capacity))
+            for vm in self._vms.values():
+                total += vm.used.values
+            self._used_cache = total
+        return self._used_cache
 
     def used(self) -> ResourceVector:
         """Sum of the *used* vectors of hosted VMs (monitoring view)."""
-        if not self._vms:
-            return ResourceVector.zeros(self.capacity.dimensions)
-        total = np.zeros(len(self.capacity))
-        for vm in self._vms.values():
-            total += vm.used.values
-        return ResourceVector(total, self.capacity.dimensions)
+        return ResourceVector(self.used_values().copy(), self.capacity.dimensions)
 
     def available(self) -> ResourceVector:
         """Remaining reservable capacity."""
@@ -132,6 +147,9 @@ class PhysicalNode:
                 f"{self.node_id} (available {self.available().as_dict()})"
             )
         self._vms[vm.vm_id] = vm
+        self._reserved_cache = None
+        self._used_cache = None
+        vm._host_nodes = (*vm._host_nodes, self)
         vm.mark_started(now, self.node_id)
         self.total_vms_hosted += 1
         self.idle_since = None
@@ -141,6 +159,9 @@ class PhysicalNode:
         if vm.vm_id not in self._vms:
             raise ResourceError(f"VM {vm.name} is not on node {self.node_id}")
         del self._vms[vm.vm_id]
+        self._reserved_cache = None
+        self._used_cache = None
+        vm._host_nodes = tuple(node for node in vm._host_nodes if node is not self)
         if vm.host_id == self.node_id:
             vm.host_id = None
         if not self._vms:
@@ -150,6 +171,10 @@ class PhysicalNode:
         """Remove and return all VMs (used by failure injection)."""
         vms = list(self._vms.values())
         self._vms.clear()
+        self._reserved_cache = None
+        self._used_cache = None
+        for vm in vms:
+            vm._host_nodes = tuple(node for node in vm._host_nodes if node is not self)
         self.idle_since = now
         return vms
 

@@ -42,7 +42,8 @@ class VirtualMachine:
         "vm_id",
         "name",
         "requested",
-        "used",
+        "_used",
+        "_host_nodes",
         "state",
         "host_id",
         "submit_time",
@@ -53,6 +54,7 @@ class VirtualMachine:
         "trace",
         "migrations",
         "metadata",
+        "_last_fraction",
     )
 
     def __init__(
@@ -67,6 +69,10 @@ class VirtualMachine:
         self.vm_id = next(_vm_counter) if vm_id is None else int(vm_id)
         self.name = name or f"vm-{self.vm_id}"
         self.requested = requested
+        #: Nodes currently accounting for this VM (set by PhysicalNode; two
+        #: entries during live-migration dual occupancy).  Lets ``used``
+        #: writes invalidate every hosting node's cached usage aggregate.
+        self._host_nodes: tuple = ()
         #: Current estimated usage; starts at the full reservation which is the
         #: conservative assumption Snooze makes before monitoring data arrives.
         self.used = requested
@@ -88,8 +94,23 @@ class VirtualMachine:
         self.migrations = 0
         #: Free-form annotations (owner, application tag, ...).
         self.metadata: dict = {}
+        #: Trace fraction behind the current ``used`` vector (memo: ``used``
+        #: is a pure function of the fraction, so an unchanged fraction --
+        #: ubiquitous with constant traces -- skips rebuilding the vector).
+        self._last_fraction: Optional[float] = None
 
     # ------------------------------------------------------------------ state
+    @property
+    def used(self) -> ResourceVector:
+        """Current estimated usage (driven by the utilization trace)."""
+        return self._used
+
+    @used.setter
+    def used(self, value: ResourceVector) -> None:
+        self._used = value
+        for node in self._host_nodes:
+            node._used_cache = None
+
     @property
     def is_active(self) -> bool:
         """True while the VM occupies resources on a host."""
@@ -107,6 +128,9 @@ class VirtualMachine:
             return self.used
         fraction = float(self.trace(now))
         fraction = min(max(fraction, 0.0), 1.0)
+        if fraction == self._last_fraction:
+            return self.used
+        self._last_fraction = fraction
         values = self.requested.values.copy()
         dims = self.requested.dimensions
         for i, dim in enumerate(dims):

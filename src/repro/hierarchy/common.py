@@ -19,7 +19,7 @@ import enum
 from typing import List, Optional
 
 from repro.metrics.recorder import EventLog
-from repro.network.message import Message
+from repro.network.message import Message, MessageType
 from repro.network.multicast import MulticastRegistry
 from repro.network.rpc import RpcChannel
 from repro.network.transport import Network
@@ -121,12 +121,36 @@ class Component:
         self._timeouts.append(timeout)
         return timeout
 
+    def add_deadline(self, table, duration: float, callback, *args):
+        """Arm a deadline in a :class:`~repro.simulation.batch.DeadlineTable`.
+
+        The returned handle is owned by (and cancelled with) this component,
+        exactly like a dedicated :class:`Timeout` would be.
+        """
+        handle = table.arm(duration, callback, *args)
+        self._timeouts.append(handle)
+        return handle
+
+    @staticmethod
+    def discard_timeout(timeout) -> None:
+        """Permanently discard a failure detector.
+
+        Deadline-table handles are *released* (their entry returns to the
+        table's free pool); plain Timeouts are cancelled.  Use this -- not
+        bare ``cancel()`` -- whenever the detector will never be restarted.
+        """
+        release = getattr(timeout, "release", None)
+        if release is not None:
+            release()
+        else:
+            timeout.cancel()
+
     def _stop_all_timers(self) -> None:
         for timer in self._timers:
             timer.stop()
         self._timers.clear()
         for timeout in self._timeouts:
-            timeout.cancel()
+            self.discard_timeout(timeout)
         self._timeouts.clear()
 
     # --------------------------------------------------------------- services
@@ -139,7 +163,11 @@ class Component:
     def _on_message(self, message: Message) -> None:
         if self.state is not ComponentState.RUNNING:
             return
-        if self.rpc.handle_message(message):
+        # Inline RPC triage: heartbeats outnumber RPC traffic by orders of
+        # magnitude at fleet scale, so the common case skips a call.
+        msg_type = message.msg_type
+        if msg_type is MessageType.RPC_REQUEST or msg_type is MessageType.RPC_REPLY:
+            self.rpc.handle_message(message)
             return
         self.handle_message(message)
 

@@ -60,6 +60,18 @@ class HierarchyConfig:
     estimation_window: int = 12
     #: Demand estimator name: mean, max, ewma, percentile.
     estimator: str = "ewma"
+    #: Telemetry backend: "arrays" runs monitoring on the shared vectorized
+    #: :class:`~repro.monitoring.arrays.TelemetryPlane`; "objects" keeps the
+    #: scalar per-VM reference path (bit-identical, slower -- used as the
+    #: old-path baseline by the scale benchmark).
+    telemetry: str = "arrays"
+    #: Coalesce the per-LC hot path: monitoring/heartbeat ticks share one
+    #: simulator event per interval group, failure-detection deadlines live in
+    #: shared :class:`~repro.simulation.batch.DeadlineTable` arrays, and (on a
+    #: deterministic network) same-instant deliveries batch into one event.
+    #: Behaviour-identical either way; False reproduces the pre-optimization
+    #: event structure.
+    coalesce_events: bool = True
 
     # ------------------------------------------------------------ scheduling
     #: Group Leader dispatching policy: round-robin, least-loaded, first-fit.
@@ -130,6 +142,10 @@ class HierarchyConfig:
             raise ValueError("heartbeat_timeout must exceed every heartbeat interval")
         if self.estimation_window <= 0:
             raise ValueError("estimation_window must be positive")
+        if self.telemetry not in ("arrays", "objects"):
+            raise ValueError(
+                f"telemetry must be 'arrays' or 'objects', got {self.telemetry!r}"
+            )
         if self.entry_points <= 0:
             raise ValueError("entry_points must be positive")
         if self.reconfiguration_interval is not None and self.reconfiguration_interval <= 0:

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.cluster.node import PhysicalNode
 from repro.cluster.vm import VirtualMachine
 from repro.coordination.election import LeaderElection
@@ -43,6 +45,7 @@ from repro.monitoring.summary import GroupManagerSummary
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
 from repro.policies import ClusterView
+from repro.simulation.batch import DeadlineTable
 from repro.simulation.engine import Event, Simulator
 from repro.simulation.timers import PeriodicTimer, Timeout
 
@@ -66,8 +69,23 @@ class GroupManager(Component):
         self._consolidation_rng = consolidation_rng
 
         # --- GM state: the Local Controllers this GM manages.
-        #: lc_name -> {"node": PhysicalNode, "last_report": dict | None, "timeout": Timeout}
+        #: lc_name -> {"node": PhysicalNode, "summary_view": dict | None, "timeout": Timeout}
+        #: where summary_view holds the latest monitoring report's capacity
+        #: vectors pre-parsed to arrays (None until the first report arrives).
         self.local_controllers: Dict[str, dict] = {}
+        # Coalesced failure detection: all of this GM's per-LC (and, as
+        # leader, per-GM) heartbeat deadlines live in two deadline arrays with
+        # one pending simulator event each, instead of one Timeout per peer.
+        if self.config.coalesce_events:
+            self._lc_deadlines: Optional[DeadlineTable] = DeadlineTable(
+                sim, name=f"{name}:lc-heartbeats"
+            )
+            self._gm_deadlines: Optional[DeadlineTable] = DeadlineTable(
+                sim, name=f"{name}:gm-heartbeats"
+            )
+        else:
+            self._lc_deadlines = None
+            self._gm_deadlines = None
         self.current_gl: Optional[str] = None
         # Every decision point is a registered policy, built through the one
         # registry path (HierarchyConfig.build_policy -> repro.policies).
@@ -153,10 +171,10 @@ class GroupManager(Component):
             self.power_manager.stop()
             self.power_manager = None
         for record in self.local_controllers.values():
-            record["timeout"].cancel()
+            self.discard_timeout(record["timeout"])
         self.local_controllers.clear()
         for timeout in self._gm_timeouts.values():
-            timeout.cancel()
+            self.discard_timeout(timeout)
         self._gm_timeouts.clear()
         self.gm_summaries.clear()
         self.known_gms.clear()
@@ -235,6 +253,12 @@ class GroupManager(Component):
             self.name, MessageType.GL_HEARTBEAT, payload={"gl": self.name}
         )
 
+    def _arm_heartbeat_deadline(self, table: Optional[DeadlineTable], callback, peer: str):
+        """A heartbeat failure detector: a table entry when coalescing, else a Timeout."""
+        if table is not None:
+            return self.add_deadline(table, self.config.heartbeat_timeout, callback, peer)
+        return self.add_timeout(self.config.heartbeat_timeout, callback, peer)
+
     # --------------------------------------------------------------- messages
     def handle_message(self, message: Message) -> None:
         if message.msg_type is MessageType.LC_HEARTBEAT:
@@ -272,7 +296,7 @@ class GroupManager(Component):
             self._gl_heartbeat_timer.stop()
             self._gl_heartbeat_timer = None
         for timeout in self._gm_timeouts.values():
-            timeout.cancel()
+            self.discard_timeout(timeout)
         self._gm_timeouts.clear()
         self.gm_summaries.clear()
         self.known_gms.clear()
@@ -285,8 +309,8 @@ class GroupManager(Component):
         gm_name = message.payload.get("gm", message.sender)
         self.known_gms.add(gm_name)
         if gm_name not in self._gm_timeouts:
-            self._gm_timeouts[gm_name] = self.add_timeout(
-                self.config.heartbeat_timeout, self._gm_failed, gm_name
+            self._gm_timeouts[gm_name] = self._arm_heartbeat_deadline(
+                self._gm_deadlines, self._gm_failed, gm_name
             )
         else:
             self._gm_timeouts[gm_name].restart()
@@ -299,7 +323,7 @@ class GroupManager(Component):
         self.known_gms.discard(gm_name)
         timeout = self._gm_timeouts.pop(gm_name, None)
         if timeout is not None:
-            timeout.cancel()
+            self.discard_timeout(timeout)
         self.log_event("gm_removed", gm=gm_name)
 
     def _on_gm_summary(self, message: Message) -> None:
@@ -319,8 +343,8 @@ class GroupManager(Component):
         if lc_name in self.local_controllers:
             self.local_controllers[lc_name]["timeout"].restart()
             return {"joined": True, "gm": self.name}
-        timeout = self.add_timeout(self.config.heartbeat_timeout, self._lc_failed, lc_name)
-        self.local_controllers[lc_name] = {"node": node, "last_report": None, "timeout": timeout}
+        timeout = self._arm_heartbeat_deadline(self._lc_deadlines, self._lc_failed, lc_name)
+        self.local_controllers[lc_name] = {"node": node, "summary_view": None, "timeout": timeout}
         if self.power_manager is not None:
             self.power_manager.nodes.append(node)
         self.log_event("lc_joined_gm", lc=lc_name, node=node_id)
@@ -331,7 +355,7 @@ class GroupManager(Component):
         record = self.local_controllers.pop(lc_name, None)
         if record is None:
             return
-        record["timeout"].cancel()
+        self.discard_timeout(record["timeout"])
         if self.power_manager is not None and record["node"] in self.power_manager.nodes:
             self.power_manager.nodes.remove(record["node"])
         self.log_event("lc_removed", lc=lc_name)
@@ -344,7 +368,17 @@ class GroupManager(Component):
     def _on_lc_monitoring(self, message: Message) -> None:
         record = self.local_controllers.get(message.sender)
         if record is not None:
-            record["last_report"] = message.payload
+            payload = message.payload
+            # Keep only the capacity vectors, pre-parsed to arrays at receive
+            # time; summary aggregation (every summary_interval) then sums
+            # arrays instead of re-parsing lists report after report, and the
+            # rest of the payload is not retained.
+            record["summary_view"] = {
+                "capacity": np.asarray(payload["capacity"], dtype=float),
+                "reserved": np.asarray(payload["reserved"], dtype=float),
+                "used": np.asarray(payload["used"], dtype=float),
+                "vm_count": payload.get("vm_count", 0),
+            }
 
     # ------------------------------------------------------------ GM: summary
     def managed_nodes(self) -> List[PhysicalNode]:
@@ -355,8 +389,10 @@ class GroupManager(Component):
         reports = []
         for record in self.local_controllers.values():
             node: PhysicalNode = record["node"]
-            if record["last_report"] is not None:
-                reports.append(record["last_report"])
+            if record["summary_view"] is not None:
+                # The pre-parsed array view of the last report (same values;
+                # np.asarray on an ndarray is a no-op in from_reports).
+                reports.append(record["summary_view"])
             else:
                 # No monitoring data yet: report the node's static state.
                 reports.append(

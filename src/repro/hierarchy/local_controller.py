@@ -30,12 +30,13 @@ from repro.hierarchy.common import Component
 from repro.hierarchy.config import HierarchyConfig
 from repro.metrics.recorder import EventLog
 from repro.migration.model import MigrationExecutor
+from repro.monitoring.arrays import ArrayHostMonitor, TelemetryPlane
 from repro.monitoring.collector import HostMonitor
 from repro.monitoring.estimators import make_estimator
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
+from repro.simulation.batch import CoalescedTicker, DeadlineTable
 from repro.simulation.engine import Simulator
-from repro.simulation.timers import Timeout
 
 #: Name of the shared node registry service (node_id -> PhysicalNode).
 NODE_REGISTRY_SERVICE = "node_registry"
@@ -65,17 +66,33 @@ class LocalController(Component):
         super().__init__(name, sim, network, event_log)
         self.node = node
         self.config = config or HierarchyConfig()
-        self.monitor = HostMonitor(
-            node,
-            window=self.config.estimation_window,
-            estimator=make_estimator(self.config.estimator),
-        )
+        if self.config.telemetry == "arrays":
+            # Vectorized telemetry: sample windows and demand estimates live
+            # in the deployment-wide TelemetryPlane (bit-identical to the
+            # scalar HostMonitor, computed in fleet-sized numpy batches).
+            self.monitor = ArrayHostMonitor(
+                node,
+                TelemetryPlane.shared(
+                    sim,
+                    self.config.estimation_window,
+                    make_estimator(self.config.estimator),
+                ),
+            )
+        else:
+            self.monitor = HostMonitor(
+                node,
+                window=self.config.estimation_window,
+                estimator=make_estimator(self.config.estimator),
+            )
         self.assigned_gm: Optional[str] = None
         self.current_gl: Optional[str] = None
-        self._gm_timeout: Optional[Timeout] = None
+        #: GM heartbeat failure detector (a Timeout or a DeadlineTable handle).
+        self._gm_timeout = None
         self._joining = False
         self._last_overload_report = -float("inf")
         self._last_underload_report = -float("inf")
+        #: Heartbeat payload (content is constant; reused across sends).
+        self._heartbeat_payload = {"node_id": self.node.node_id}
         #: Seconds between repeated anomaly reports for a persisting condition.
         self.anomaly_cooldown = 3 * self.config.monitoring_interval
         self.rpc.register_operation("start_vm", self._op_start_vm)
@@ -88,14 +105,42 @@ class LocalController(Component):
         self.assigned_gm = None
         self._joining = False
         self.multicast.group(GL_HEARTBEAT_GROUP).subscribe(self.name)
-        self.add_timer(self.config.monitoring_interval, self._monitoring_tick)
-        self.add_timer(self.config.lc_heartbeat_interval, self._send_heartbeat)
+        if self.config.coalesce_events:
+            # One simulator event per interval group for the whole fleet: LCs
+            # registering at the same instant share a tick chain and fire in
+            # registration order -- the order dedicated timers would have.
+            # The monitoring tick is phased so every LC samples before any LC
+            # reports, which lets the telemetry plane estimate the entire
+            # fleet in one vectorized batch.
+            ticker = CoalescedTicker.shared(self.sim)
+            self._timers.append(
+                ticker.register(
+                    self.config.monitoring_interval,
+                    self._monitoring_prepare,
+                    self._monitoring_emit,
+                    name=f"{self.name}:monitoring",
+                )
+            )
+            self._timers.append(
+                ticker.register(
+                    self.config.lc_heartbeat_interval,
+                    self._send_heartbeat,
+                    name=f"{self.name}:heartbeat",
+                )
+            )
+        else:
+            self.add_timer(self.config.monitoring_interval, self._monitoring_tick)
+            self.add_timer(self.config.lc_heartbeat_interval, self._send_heartbeat)
 
     def on_fail(self) -> None:
         """A crashed LC loses its VMs (paper: 'in the event of a LC failure, VMs are also terminated')."""
         self.node.state = NodeState.FAILED
         for vm in self.node.evict_all(self.sim.now):
             vm.mark_failed(self.sim.now)
+            # Release the telemetry state immediately: a permanently failed
+            # LC never ticks again, so its monitor would otherwise pin the
+            # lost VMs (and their plane slots) for the rest of the run.
+            self.monitor.untrack_vm(vm)
             self.log_event("vm_failed", vm=vm.name, reason="lc_failure")
         self.multicast.group(GL_HEARTBEAT_GROUP).unsubscribe(self.name)
         if self.assigned_gm is not None:
@@ -165,8 +210,18 @@ class LocalController(Component):
         self.assigned_gm = gm_name
         self.multicast.group(gm_heartbeat_group(gm_name)).subscribe(self.name)
         if self._gm_timeout is not None:
-            self._gm_timeout.cancel()
-        self._gm_timeout = self.add_timeout(self.config.heartbeat_timeout, self._gm_lost)
+            # The old detector is never restarted again: release its entry.
+            self.discard_timeout(self._gm_timeout)
+        if self.config.coalesce_events:
+            # All LC-side GM failure detectors share one deadline array (and
+            # one pending simulator event) instead of one Timeout per LC.
+            self._gm_timeout = self.add_deadline(
+                DeadlineTable.shared(self.sim, "lc-gm-heartbeats"),
+                self.config.heartbeat_timeout,
+                self._gm_lost,
+            )
+        else:
+            self._gm_timeout = self.add_timeout(self.config.heartbeat_timeout, self._gm_lost)
         self.log_event("lc_joined", gm=gm_name)
 
     def _join_failed(self) -> None:
@@ -196,7 +251,7 @@ class LocalController(Component):
                 msg_type=MessageType.LC_HEARTBEAT,
                 sender=self.name,
                 recipient=self.assigned_gm,
-                payload={"node_id": self.node.node_id},
+                payload=self._heartbeat_payload,
             ),
             size_bytes=128,
         )
@@ -204,8 +259,17 @@ class LocalController(Component):
     # ------------------------------------------------------------- monitoring
     def _monitoring_tick(self) -> None:
         """Sample VMs, terminate the ones whose runtime elapsed, report to the GM."""
+        self._monitoring_prepare()
+        self._monitoring_emit()
+
+    def _monitoring_prepare(self) -> None:
+        """Tick phase 1: reap expired VMs and append fresh usage samples."""
         self._reap_finished_vms()
-        report = self.monitor.report(self.sim.now)
+        self.monitor.refresh(self.sim.now)
+
+    def _monitoring_emit(self) -> None:
+        """Tick phase 2: build the report from current samples, send, detect anomalies."""
+        report = self.monitor.build_report(self.sim.now)
         if self.assigned_gm is not None:
             self.network.send(
                 Message(

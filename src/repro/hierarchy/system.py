@@ -78,6 +78,9 @@ class SnoozeSystem:
 
         # --- network + multicast + coordination
         self.network = Network(self.sim, self.config.network, rng=self.random.stream("network"))
+        # Delivery batching rides the same switch as the other event
+        # coalescing (it only ever activates on a deterministic network).
+        self.network.batch_delivery = bool(self.config.coalesce_events)
         self.multicast = MulticastRegistry(self.network)
         self.coordination = CoordinationService(
             self.sim, default_session_timeout=self.config.session_timeout

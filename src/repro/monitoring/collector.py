@@ -130,9 +130,12 @@ class HostMonitor:
             return 0.0
         return float(min(self.estimated_used().values[cpu_index] / capacity, 1.0))
 
-    def report(self, now: float) -> dict:
-        """The monitoring payload an LC sends to its GM each monitoring interval."""
+    def refresh(self, now: float) -> None:
+        """Append one sample per tracked VM (reconciling with the node's VM list)."""
         self.sample_all(now)
+
+    def build_report(self, now: float) -> dict:
+        """The monitoring payload, from the current sample windows (no resampling)."""
         return {
             "node_id": self.node.node_id,
             "timestamp": now,
@@ -146,3 +149,8 @@ class HostMonitor:
                 for vm_id, monitor in self._vm_monitors.items()
             },
         }
+
+    def report(self, now: float) -> dict:
+        """Sample every tracked VM, then build the LC's monitoring payload."""
+        self.refresh(now)
+        return self.build_report(now)

@@ -38,8 +38,16 @@ class GroupManagerSummary:
 
     # --------------------------------------------------------------- derived
     def free_capacity(self) -> ResourceVector:
-        """Total unreserved capacity across the GM's LCs (possibly fragmented)."""
-        return (self.total_capacity - self.reserved).clamp_nonnegative()
+        """Total unreserved capacity across the GM's LCs (possibly fragmented).
+
+        Memoized: summaries are immutable snapshots, and Group Leader
+        dispatching probes this once per known GM per submission.
+        """
+        cached = getattr(self, "_free_capacity", None)
+        if cached is None:
+            cached = (self.total_capacity - self.reserved).clamp_nonnegative()
+            self._free_capacity = cached
+        return cached
 
     def utilization(self) -> float:
         """Scalar reserved/total ratio averaged over dimensions (GL load balancing key)."""
@@ -89,27 +97,35 @@ class GroupManagerSummary:
         lc_reports: Iterable[dict],
         dimensions: Sequence[str] = DEFAULT_DIMENSIONS,
     ) -> "GroupManagerSummary":
-        """Aggregate the latest LC monitoring reports into a GM summary."""
-        total = np.zeros(len(dimensions))
-        reserved = np.zeros(len(dimensions))
-        used = np.zeros(len(dimensions))
-        largest_slot = np.zeros(len(dimensions))
-        lc_count = 0
-        vm_count = 0
-        for report in lc_reports:
-            lc_count += 1
-            vm_count += int(report.get("vm_count", 0))
-            capacity = np.asarray(report["capacity"], dtype=float)
-            lc_reserved = np.asarray(report["reserved"], dtype=float)
-            lc_used = np.asarray(report["used"], dtype=float)
-            total += capacity
-            reserved += lc_reserved
-            used += lc_used
-            free = np.maximum(capacity - lc_reserved, 0.0)
+        """Aggregate the latest LC monitoring reports into a GM summary.
+
+        Vectorized but bit-identical to a sequential per-report fold:
+        ``np.add.accumulate`` is left-to-right by construction, and the
+        largest free slot is the lexicographic maximum either way.
+        """
+        reports = list(lc_reports)
+        lc_count = len(reports)
+        vm_count = sum(int(report.get("vm_count", 0)) for report in reports)
+        if reports:
+            capacity_rows = np.asarray([report["capacity"] for report in reports], dtype=float)
+            reserved_rows = np.asarray([report["reserved"] for report in reports], dtype=float)
+            used_rows = np.asarray([report["used"] for report in reports], dtype=float)
+            total = np.add.accumulate(capacity_rows, axis=0)[-1]
+            reserved = np.add.accumulate(reserved_rows, axis=0)[-1]
+            used = np.add.accumulate(used_rows, axis=0)[-1]
+            free_rows = np.maximum(capacity_rows - reserved_rows, 0.0)
             # "largest" judged by the CPU dimension first, then memory: a simple
-            # componentwise max would overestimate (mixing slots of different LCs).
-            if tuple(free) > tuple(largest_slot):
-                largest_slot = free
+            # componentwise max would overestimate (mixing slots of different
+            # LCs).  Stable lexsort picks the lexicographically largest row;
+            # all rows are non-negative, so an all-zero maximum keeps the
+            # zero-vector default.
+            candidate = free_rows[np.lexsort(free_rows.T[::-1])[-1]]
+            largest_slot = candidate if candidate.any() else np.zeros(len(dimensions))
+        else:
+            total = np.zeros(len(dimensions))
+            reserved = np.zeros(len(dimensions))
+            used = np.zeros(len(dimensions))
+            largest_slot = np.zeros(len(dimensions))
         return cls(
             gm_id=gm_id,
             timestamp=timestamp,

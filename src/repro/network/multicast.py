@@ -26,19 +26,25 @@ class MulticastGroup:
     def __init__(self, network: Network, group_name: str) -> None:
         self.network = network
         self.group_name = group_name
+        #: Subscription order drives fan-out order (and therefore delivery
+        #: order among same-instant sends), so the list is authoritative; the
+        #: set exists purely for O(1) membership at fleet scale.
         self._subscribers: List[str] = []
+        self._subscriber_set: set = set()
         #: Number of publish calls (for overhead accounting).
         self.publish_count = 0
 
     # ---------------------------------------------------------- subscription
     def subscribe(self, endpoint_name: str) -> None:
         """Add an endpoint to the group (idempotent)."""
-        if endpoint_name not in self._subscribers:
+        if endpoint_name not in self._subscriber_set:
+            self._subscriber_set.add(endpoint_name)
             self._subscribers.append(endpoint_name)
 
     def unsubscribe(self, endpoint_name: str) -> None:
         """Remove an endpoint from the group (idempotent)."""
-        if endpoint_name in self._subscribers:
+        if endpoint_name in self._subscriber_set:
+            self._subscriber_set.discard(endpoint_name)
             self._subscribers.remove(endpoint_name)
 
     @property
@@ -47,23 +53,31 @@ class MulticastGroup:
         return list(self._subscribers)
 
     def __contains__(self, endpoint_name: str) -> bool:
-        return endpoint_name in self._subscribers
+        return endpoint_name in self._subscriber_set
 
     def __len__(self) -> int:
         return len(self._subscribers)
 
     # ---------------------------------------------------------------- publish
     def publish(self, sender: str, msg_type: MessageType, payload=None, size_bytes: int = 256) -> int:
-        """Send ``payload`` to every subscriber except the sender; returns fan-out size."""
+        """Send ``payload`` to every subscriber except the sender; returns fan-out size.
+
+        On a deterministic network (no jitter/loss) the transport coalesces
+        the whole fan-out into a single delivery event (see
+        :attr:`~repro.network.transport.Network.batch_delivery`), so a
+        heartbeat to thousands of Local Controllers costs one simulator event
+        instead of one per subscriber.
+        """
         self.publish_count += 1
         fanout = 0
+        send = self.network.send
         for subscriber in list(self._subscribers):
             if subscriber == sender:
                 continue
-            message = Message(
-                msg_type=msg_type, sender=sender, recipient=subscriber, payload=payload
+            send(
+                Message(msg_type=msg_type, sender=sender, recipient=subscriber, payload=payload),
+                size_bytes=size_bytes,
             )
-            self.network.send(message, size_bytes=size_bytes)
             fanout += 1
         return fanout
 

@@ -10,12 +10,12 @@ II.E failure scenarios are all "heartbeats are lost").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.network.message import Message
-from repro.simulation.engine import Simulator
+from repro.simulation.engine import Event, Simulator
 
 
 @dataclass
@@ -79,6 +79,14 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        #: Coalesce same-instant deliveries into one simulator event when the
+        #: network is deterministic (no jitter, no loss).  Behaviour-neutral:
+        #: batched messages arrive at the same simulated time, in the same
+        #: order, as individually scheduled ones -- only the event count drops.
+        self.batch_delivery = True
+        self._open_batch: Optional[List[Message]] = None
+        self._open_batch_time = -1.0
+        self._open_batch_event: Optional[Event] = None
         if not sim.has_service(self.SERVICE_NAME):
             sim.register_service(self.SERVICE_NAME, self)
 
@@ -136,15 +144,38 @@ class Network:
             if not sender.connected:
                 self.messages_dropped += 1
                 return False
-        if self.config.loss_probability > 0 and self.rng.random() < self.config.loss_probability:
+        config = self.config
+        if config.loss_probability > 0 and self.rng.random() < config.loss_probability:
             self.messages_dropped += 1
             return False
         message.sent_at = self.sim.now
-        latency = self.config.base_latency
-        if self.config.jitter > 0:
-            latency += float(self.rng.uniform(0.0, self.config.jitter))
+        latency = config.base_latency
+        if config.jitter > 0:
+            latency += float(self.rng.uniform(0.0, config.jitter))
+        elif self.batch_delivery and config.loss_probability == 0:
+            # Deterministic network: every message sent this instant arrives
+            # at the same time in send order, so one event can carry them all.
+            if (
+                self._open_batch is not None
+                and self._open_batch_time == self.sim.now
+                and self._open_batch_event is not None
+                and self._open_batch_event.pending
+            ):
+                self._open_batch.append(message)
+                return True
+            batch: List[Message] = [message]
+            self._open_batch = batch
+            self._open_batch_time = self.sim.now
+            self._open_batch_event = self.sim.schedule(
+                latency, self._deliver_batch, batch, priority=Simulator.PRIORITY_HIGH
+            )
+            return True
         self.sim.schedule(latency, self._deliver, message, priority=Simulator.PRIORITY_HIGH)
         return True
+
+    def _deliver_batch(self, batch: List[Message]) -> None:
+        for message in batch:
+            self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
         recipient = self._endpoints.get(message.recipient)

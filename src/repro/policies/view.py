@@ -102,9 +102,12 @@ class ClusterView:
         vm_counts = np.empty(n, dtype=np.int64)
         for index, node in enumerate(node_list):
             capacities[index] = node.capacity.values
-            for vm in node.vms:
-                reserved[index] += vm.requested.values
-                used[index] += vm.used.values
+            # Both aggregates come from the node's caches (the same
+            # sequential sums, computed once per change -- VM set changes for
+            # reservations, any hosted VM's usage write for usage -- instead
+            # of per snapshot).
+            reserved[index] = node.reserved_values()
+            used[index] = node.used_values()
             placeable[index] = node.is_available_for_placement
             vm_counts[index] = node.vm_count
         return cls(

@@ -285,6 +285,84 @@ def _aco_consolidation_cycle() -> ScenarioSpec:
 
 
 @register_scenario
+def _megafleet_steady() -> ScenarioSpec:
+    """A 256-host fleet in churn equilibrium, exercising the vectorized hot path."""
+    return ScenarioSpec(
+        name="megafleet-steady",
+        description=(
+            "A 256-host fleet under steady Poisson churn on a deterministic "
+            "management network: the array-backed telemetry plane, coalesced "
+            "ticks/deadlines and batched deliveries keep the event queue flat "
+            "at fleet scale."
+        ),
+        duration=1800.0,
+        local_controllers=256,
+        group_managers=8,
+        nodes_per_rack=32,
+        config={
+            # Zero jitter/loss so same-instant deliveries coalesce into one
+            # simulator event (the batching fast path is only taken on a
+            # deterministic network; see Network.batch_delivery).
+            "network": {"base_latency": 0.001, "jitter": 0.0, "loss_probability": 0.0},
+        },
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=320,
+                arrival={"kind": "poisson", "rate_per_hour": 1200.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.7},
+                lifetime={"kind": "exponential", "mean": 900.0, "minimum": 60.0},
+            )
+        ],
+    )
+
+
+@register_scenario
+def _megafleet_diurnal() -> ScenarioSpec:
+    """A large fleet riding a day/night wave with energy management enabled."""
+    return ScenarioSpec(
+        name="megafleet-diurnal",
+        description=(
+            "192 hosts serving long-lived tenants with diurnal CPU traces and "
+            "idle-host suspend: large-fleet energy management on the "
+            "vectorized telemetry plane."
+        ),
+        duration=1800.0,
+        local_controllers=192,
+        group_managers=6,
+        nodes_per_rack=32,
+        config={
+            "network": {"base_latency": 0.001, "jitter": 0.0, "loss_probability": 0.0},
+            "monitoring_interval": 30.0,
+            "summary_interval": 30.0,
+            "energy_sample_interval": 120.0,
+            "power_manager": {
+                "enabled": True,
+                "idle_time_threshold": 300.0,
+                "check_interval": 120.0,
+                "min_powered_on_hosts": 8,
+            },
+        },
+        phases=[
+            WorkloadPhase(
+                name="tenants",
+                vm_count=240,
+                arrival={"kind": "uniform", "start": 0.0, "window": 600.0},
+                demand={"kind": "uniform", "low": 0.15, "high": 0.35},
+                trace={
+                    "kind": "diurnal",
+                    "base": 0.1,
+                    "peak": 0.85,
+                    "period": 1800.0,
+                    "peak_time": 900.0,
+                },
+            )
+        ],
+    )
+
+
+@register_scenario
 def _leader_crash_under_load() -> ScenarioSpec:
     """Kill the Group Leader mid-churn, then tighten thresholds."""
     return ScenarioSpec(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -54,14 +55,30 @@ class ScenarioResult:
     event_counts: Dict[str, int] = field(default_factory=dict)
     #: The resolved policy selection the run used (kind -> policy name).
     policies: Dict[str, str] = field(default_factory=dict)
+    #: Observed performance of the run itself (wall-clock seconds, simulator
+    #: events retired per wall-clock second).  These are the only
+    #: non-deterministic fields of a result; golden/determinism comparisons go
+    #: through :meth:`canonical_json`, which zeroes them.
+    perf: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        """Plain-data form."""
+        """Plain-data form (includes the measured ``perf`` section)."""
         return dataclasses.asdict(self)
 
     def to_json(self, indent: int = 2) -> str:
-        """Canonical JSON (sorted keys) -- byte-identical for identical runs."""
+        """JSON form with sorted keys (includes the measured ``perf`` section)."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def canonical_json(self, indent: int = 2) -> str:
+        """Deterministic JSON: identical runs are byte-identical.
+
+        The ``perf`` section is zeroed (wall-clock quantities vary run to
+        run); everything else is simulated state.  Golden fixtures and every
+        determinism assertion compare this form.
+        """
+        data = self.to_dict()
+        data["perf"] = {"wall_clock_seconds": 0.0, "events_per_second": 0.0}
+        return json.dumps(data, sort_keys=True, indent=indent)
 
 
 class ScenarioRunner:
@@ -135,6 +152,7 @@ class ScenarioRunner:
     # -------------------------------------------------------------------- run
     def run(self) -> ScenarioResult:
         """Execute the scenario and return its structured result."""
+        started = time.perf_counter()
         system = self.build_system()
         self.system = system
         system.start()
@@ -144,7 +162,13 @@ class ScenarioRunner:
         self._schedule_timeline(system, base)
         system.run(self.duration)
         recorder.sample_all()
-        return self._collect(system)
+        wall = time.perf_counter() - started
+        result = self._collect(system)
+        result.perf = {
+            "wall_clock_seconds": wall,
+            "events_per_second": system.sim.processed_events / wall if wall > 0 else 0.0,
+        }
+        return result
 
     def _collect(self, system: SnoozeSystem) -> ScenarioResult:
         client = system.client

@@ -1,0 +1,9 @@
+"""Golden ScenarioResult fixtures for the scenario catalog.
+
+One ``<scenario-name>.json`` per catalog entry, produced by
+:mod:`tests.golden.regenerate` and compared byte-for-byte by the golden test
+in ``tests/test_scenarios.py``.  The fixtures pin the observable behaviour of
+the whole stack (simulation kernel, hierarchy protocols, monitoring,
+policies): any change that alters a single byte of any fixture is a behaviour
+change, not a refactor.
+"""

@@ -1,0 +1,75 @@
+"""Regenerate the golden ScenarioResult fixtures.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m tests.golden.regenerate            # all scenarios
+    PYTHONPATH=src python -m tests.golden.regenerate flash-crowd ...
+
+Fixtures are the :meth:`ScenarioResult.canonical_json` of each catalog
+scenario under ``GOLDEN_SEED`` and a capped duration (so the whole catalog
+regenerates in minutes on a laptop, while scripted timeline events are never
+dropped).  Only regenerate after an *intentional* behaviour change -- the
+golden test exists to catch unintentional ones.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.scenarios import ScenarioSpec, get_scenario, run_scenario, scenario_names
+
+#: Seed every golden fixture is produced under.
+GOLDEN_SEED = 7
+
+#: Cap on the simulated duration of a golden run (seconds).
+GOLDEN_DURATION_CAP = 1500.0
+
+#: Directory holding the committed fixtures.
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def golden_duration(spec: ScenarioSpec, cap: float = GOLDEN_DURATION_CAP) -> float:
+    """A capped duration that never drops scripted timeline events."""
+    candidate = min(spec.duration, cap)
+    if spec.timeline_events_after(candidate):
+        return spec.duration
+    return candidate
+
+
+def fixture_path(name: str) -> Path:
+    """Path of the committed fixture for scenario ``name``."""
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def golden_json(name: str) -> str:
+    """The canonical golden content for scenario ``name`` (trailing newline)."""
+    spec = get_scenario(name)
+    result = run_scenario(spec, seed=GOLDEN_SEED, duration=golden_duration(spec))
+    return result.canonical_json() + "\n"
+
+
+def regenerate(names: Iterable[str]) -> List[Path]:
+    """Rewrite the fixture of every scenario in ``names``; returns the paths."""
+    written = []
+    for name in names:
+        path = fixture_path(name)
+        path.write_text(golden_json(name))
+        written.append(path)
+    return written
+
+
+def main(argv: List[str]) -> int:
+    names = argv or scenario_names()
+    unknown = sorted(set(names) - set(scenario_names()))
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for path in regenerate(names):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,206 @@
+"""Tests for the coalesced event machinery (repro.simulation.batch).
+
+The contract under test everywhere: coalescing changes the *event count*,
+never the simulated times, the firing order, or the observable behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.batch import CoalescedTicker, DeadlineTable
+from repro.simulation.engine import SimulationError
+from repro.simulation.timers import PeriodicTimer, Timeout
+
+
+class TestCoalescedTicker:
+    def test_members_fire_at_timer_equivalent_times(self, sim):
+        ticker = CoalescedTicker(sim)
+        coalesced_times, timer_times = [], []
+        ticker.register(2.0, lambda: coalesced_times.append(sim.now))
+        PeriodicTimer(sim, 2.0, lambda: timer_times.append(sim.now))
+        sim.run(until=10.0)
+        assert coalesced_times == timer_times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_same_instant_registrations_share_one_group_and_fire_in_order(self, sim):
+        ticker = CoalescedTicker(sim)
+        fired = []
+        for index in range(5):
+            ticker.register(1.0, lambda index=index: fired.append(index))
+        assert ticker.group_count() == 1
+        sim.run(until=1.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_later_registration_gets_its_own_group(self, sim):
+        ticker = CoalescedTicker(sim)
+        fired = []
+        ticker.register(2.0, lambda: fired.append(("grid", sim.now)))
+        sim.run(until=1.0)
+        ticker.register(2.0, lambda: fired.append(("offset", sim.now)))
+        assert ticker.group_count() == 2
+        sim.run(until=4.0)
+        assert fired == [("grid", 2.0), ("offset", 3.0), ("grid", 4.0)]
+
+    def test_phases_run_breadth_first(self, sim):
+        ticker = CoalescedTicker(sim)
+        order = []
+        ticker.register(1.0, lambda: order.append("a1"), lambda: order.append("a2"))
+        ticker.register(1.0, lambda: order.append("b1"), lambda: order.append("b2"))
+        sim.run(until=1.0)
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_stopped_member_no_longer_fires(self, sim):
+        ticker = CoalescedTicker(sim)
+        fired = []
+        keep = ticker.register(1.0, lambda: fired.append("keep"))
+        drop = ticker.register(1.0, lambda: fired.append("drop"))
+        sim.run(until=1.0)
+        drop.stop()
+        assert not drop.running and keep.running
+        sim.run(until=2.0)
+        assert fired == ["keep", "drop", "keep"]
+
+    def test_empty_group_unwinds(self, sim):
+        ticker = CoalescedTicker(sim)
+        handle = ticker.register(1.0, lambda: None)
+        handle.stop()
+        sim.run(until=2.0)
+        assert ticker.group_count() == 0
+        assert ticker.member_count() == 0
+
+    def test_invalid_registrations_rejected(self, sim):
+        ticker = CoalescedTicker(sim)
+        with pytest.raises(SimulationError):
+            ticker.register(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            ticker.register(1.0)
+
+    def test_shared_returns_one_instance_per_sim(self, sim):
+        assert CoalescedTicker.shared(sim) is CoalescedTicker.shared(sim)
+
+    def test_fired_count_tracks_ticks(self, sim):
+        ticker = CoalescedTicker(sim)
+        handle = ticker.register(1.0, lambda: None)
+        sim.run(until=3.0)
+        assert handle.fired_count == 3
+
+
+class TestDeadlineTable:
+    def test_expires_at_exactly_timeout_equivalent_time(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        table.arm(5.0, lambda: fired.append(("table", sim.now)))
+        Timeout(sim, 5.0, lambda: fired.append(("timeout", sim.now)))
+        sim.run(until=10.0)
+        assert fired == [("table", 5.0), ("timeout", 5.0)]
+
+    def test_restart_pushes_the_deadline_back(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handle = table.arm(4.0, lambda: fired.append(sim.now))
+        sim.run(until=2.0)
+        handle.restart()
+        sim.run(until=10.0)
+        assert fired == [6.0]
+
+    def test_repeated_restarts_are_lazy_but_exact(self, sim):
+        """The classic failure-detector pattern: heartbeats keep the deadline away."""
+        table = DeadlineTable(sim)
+        fired = []
+        handle = table.arm(3.0, lambda: fired.append(sim.now))
+        heartbeat = PeriodicTimer(sim, 1.0, handle.restart)
+        sim.run(until=20.0)
+        assert fired == []
+        heartbeat.stop()
+        sim.run(until=30.0)
+        assert fired == [23.0]  # last restart at t=20 + 3s deadline
+
+    def test_cancel_disarms(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handle = table.arm(2.0, lambda: fired.append(sim.now))
+        handle.cancel()
+        assert not handle.armed
+        sim.run(until=5.0)
+        assert fired == []
+        handle.restart()
+        sim.run(until=10.0)
+        assert fired == [7.0]
+
+    def test_equal_deadlines_fire_in_restart_order(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handles = [
+            table.arm(3.0, lambda name=name: fired.append(name)) for name in "abc"
+        ]
+        sim.run(until=1.0)
+        # Restart in reverse order: expiry order must follow restarts, not arming.
+        for name, handle in zip("cba", reversed(handles)):
+            handle.restart()
+        sim.run(until=10.0)
+        assert fired == ["c", "b", "a"]
+
+    def test_restart_with_new_duration(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handle = table.arm(2.0, lambda: fired.append(sim.now))
+        handle.restart(7.0)
+        sim.run(until=10.0)
+        assert fired == [7.0]
+        with pytest.raises(SimulationError):
+            handle.restart(0.0)
+
+    def test_expiry_callback_can_rearm_other_entries(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        def fired_second():
+            fired.append(("second", sim.now))
+
+        table.arm(2.0, lambda: (fired.append(("first", sim.now)), second.restart(5.0)))
+        second = table.arm(2.0, fired_second)
+        sim.run(until=10.0)
+        assert fired == [("first", 2.0), ("second", 7.0)]
+
+    def test_release_recycles_entries_and_inerts_handles(self, sim):
+        table = DeadlineTable(sim)
+        handle = table.arm(2.0, lambda: None)
+        table.release(handle)
+        assert not handle.armed
+        with pytest.raises(SimulationError):
+            handle.restart()
+        replacement = table.arm(1.0, lambda: None)
+        assert replacement.armed
+        sim.run(until=5.0)
+        assert replacement.expired
+
+    def test_release_recycles_entries_so_churn_does_not_grow_the_table(self, sim):
+        """The fail/rejoin pattern: discard + re-arm must reuse one entry."""
+        table = DeadlineTable(sim)
+        for _ in range(500):
+            handle = table.arm(5.0, lambda: None)
+            handle.release()
+        assert len(table) == 0
+        assert len(table._durations) <= 32  # never grew past the initial block
+
+    def test_grows_past_initial_capacity(self, sim):
+        table = DeadlineTable(sim)
+        handles = [table.arm(1000.0, lambda: None) for _ in range(100)]
+        assert len(table) == 100
+        assert all(handle.armed for handle in handles)
+        assert table.next_deadline() == 1000.0
+
+    def test_invalid_duration_rejected(self, sim):
+        table = DeadlineTable(sim)
+        with pytest.raises(SimulationError):
+            table.arm(0.0, lambda: None)
+
+    def test_shared_tables_are_named_singletons(self, sim):
+        assert DeadlineTable.shared(sim, "a") is DeadlineTable.shared(sim, "a")
+        assert DeadlineTable.shared(sim, "a") is not DeadlineTable.shared(sim, "b")
+
+    def test_one_pending_event_for_many_armed_entries(self, sim):
+        table = DeadlineTable(sim)
+        for _ in range(50):
+            table.arm(5.0, lambda: None)
+        # 50 failure detectors, one scheduled simulator event.
+        assert len(sim) == 1

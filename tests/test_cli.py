@@ -9,6 +9,34 @@ import pytest
 from repro.cli.main import main
 
 
+class TestScenarioRunPerfFields:
+    def test_run_json_reports_wall_clock_and_event_throughput(self, capsys):
+        assert (
+            main(["scenario", "run", "steady-churn", "--seed", "1", "--duration", "300", "--json"])
+            == 0
+        )
+        result = json.loads(capsys.readouterr().out)
+        perf = result["perf"]
+        assert perf["wall_clock_seconds"] > 0.0
+        assert perf["events_per_second"] > 0.0
+
+    def test_perf_varies_but_simulated_result_does_not(self, capsys):
+        """Two CLI runs agree on everything except the measured perf section."""
+        payloads = []
+        for _ in range(2):
+            assert (
+                main(
+                    ["scenario", "run", "flash-crowd", "--seed", "2", "--duration", "300", "--json"]
+                )
+                == 0
+            )
+            payloads.append(json.loads(capsys.readouterr().out))
+        first, second = payloads
+        first.pop("perf")
+        second.pop("perf")
+        assert first == second
+
+
 class TestConsolidateCommand:
     def test_basic_run_prints_table(self, capsys):
         assert main(["consolidate", "--vms", "15", "--seed", "1"]) == 0

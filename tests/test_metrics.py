@@ -19,6 +19,14 @@ class TestEventLog:
         assert log.categories() == ["election", "failure"]
         assert log.events("election")[0].details["winner"] == "gm-1"
 
+    def test_empty_log(self):
+        log = EventLog()
+        assert len(log) == 0
+        assert log.count() == 0
+        assert log.count("anything") == 0
+        assert log.categories() == []
+        assert log.events() == []
+
     def test_events_returns_copies_of_list(self):
         log = EventLog()
         log.record(0.0, "x")
@@ -37,6 +45,37 @@ class TestTimeSeries:
         assert series.mean() == pytest.approx(4.0)
         assert series.min() == 2.0
         assert series.max() == 6.0
+
+    def test_empty_history_statistics_are_zero_or_none(self):
+        series = TimeSeries("empty")
+        assert len(series) == 0
+        assert series.latest() is None
+        assert series.mean() == 0.0
+        assert series.min() == 0.0
+        assert series.max() == 0.0
+        assert series.time_weighted_mean() == 0.0
+        assert series.integral() == 0.0
+
+    def test_single_sample_statistics(self):
+        series = TimeSeries("one")
+        series.append(5.0, 42.0)
+        assert series.latest() == 42.0
+        assert series.mean() == 42.0
+        assert series.time_weighted_mean() == 42.0  # no duration: plain mean
+        assert series.integral() == 0.0
+
+    def test_constant_trace_time_weighted_mean_is_the_constant(self):
+        series = TimeSeries("flat")
+        for time in (0.0, 10.0, 25.0, 100.0):  # uneven spacing must not matter
+            series.append(time, 7.5)
+        assert series.time_weighted_mean() == pytest.approx(7.5)
+        assert series.integral() == pytest.approx(7.5 * 100.0)
+
+    def test_equal_timestamps_are_allowed(self):
+        series = TimeSeries("dense")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)  # same instant: allowed (zero-duration step)
+        assert series.time_weighted_mean() == pytest.approx(1.5)  # degenerate: plain mean
 
     def test_non_monotonic_time_rejected(self):
         series = TimeSeries("x")
@@ -77,6 +116,14 @@ class TestTimeSeriesRecorder:
         sim.run(until=50.0)
         assert len(series) == 5
         assert series.values[-1] == 5
+
+    def test_recorder_without_probes_samples_nothing(self, sim):
+        recorder = TimeSeriesRecorder(sim, interval=10.0)
+        recorder.sample_all()
+        sim.run(until=30.0)
+        assert recorder.all_series() == {}
+        with pytest.raises(KeyError):
+            recorder.series("unknown")
 
     def test_duplicate_probe_rejected(self, sim):
         recorder = TimeSeriesRecorder(sim, interval=10.0)

@@ -71,6 +71,48 @@ class TestEstimators:
             PercentileEstimator(percentile=0.0)
 
 
+class TestEstimatorEdgeCases:
+    ALL = [MeanEstimator(), MaxEstimator(), EwmaEstimator(), PercentileEstimator()]
+
+    def test_single_sample_is_returned_verbatim(self):
+        sample = np.array([[0.37, 0.21, 0.09]])
+        for estimator in self.ALL:
+            assert (estimator.estimate(sample) == sample[0]).all(), estimator.name
+
+    def test_constant_window_estimates_the_constant(self):
+        window = np.full((12, 3), 0.42)
+        for estimator in self.ALL:
+            assert estimator.estimate(window) == pytest.approx([0.42] * 3), estimator.name
+
+    def test_one_dimensional_input_is_promoted_to_single_sample(self):
+        for estimator in self.ALL:
+            estimate = estimator.estimate(np.array([0.1, 0.2, 0.3]))
+            assert estimate == pytest.approx([0.1, 0.2, 0.3]), estimator.name
+
+    def test_empty_history_rejected_by_every_estimator(self):
+        for estimator in self.ALL:
+            with pytest.raises(ValueError):
+                estimator.estimate(np.empty((0, 3)))
+
+    def test_zero_utilization_window(self):
+        window = np.zeros((5, 3))
+        for estimator in self.ALL:
+            assert (estimator.estimate(window) == 0.0).all(), estimator.name
+
+    def test_out_of_order_sampling_keeps_append_order(self):
+        """Monitors index the window by arrival, not timestamp: sampling at a
+        past simulated time (e.g. around a clock rewind in tests) must not
+        corrupt the window."""
+        vm = make_vm(cpu=0.8, trace=SpikeTrace(before=0.25, after=0.75, at=50.0))
+        monitor = VMMonitor(vm, window=4, estimator=MaxEstimator())
+        for now in (100.0, 0.0, 60.0, 10.0):  # deliberately unsorted
+            monitor.sample(now)
+        timestamps = [sample.timestamp for sample in monitor.samples]
+        assert timestamps == [100.0, 0.0, 60.0, 10.0]
+        # Max over the window: the spike level times the reservation.
+        assert monitor.estimate_demand()["cpu"] == pytest.approx(0.8 * 0.75)
+
+
 class TestVMMonitor:
     def test_sampling_follows_trace(self):
         vm = make_vm(cpu=0.8, trace=SpikeTrace(before=0.5, after=1.0, at=50.0))

@@ -392,8 +392,8 @@ class TestScenarioPolicies:
         assert config.placement_policy == "best-fit"
 
     def test_same_seed_runs_with_policy_block_are_byte_identical(self):
-        first = run_scenario(_policy_spec(), seed=11).to_json()
-        second = run_scenario(_policy_spec(), seed=11).to_json()
+        first = run_scenario(_policy_spec(), seed=11).canonical_json()
+        second = run_scenario(_policy_spec(), seed=11).canonical_json()
         assert first == second
         decoded = json.loads(first)
         assert decoded["policies"]["placement"] == "best-fit"

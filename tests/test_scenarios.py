@@ -18,6 +18,7 @@ from repro.scenarios import (
     scenario_names,
 )
 from repro.cli.main import main
+from tests.golden import regenerate as golden
 
 
 def _small_churn_spec(**overrides) -> ScenarioSpec:
@@ -138,28 +139,53 @@ class TestCatalog:
         assert any(spec.node_classes for spec in specs.values())
 
 
-def _golden_duration(spec: ScenarioSpec, cap: float = 1500.0) -> float:
-    """A capped duration that never drops scripted timeline events."""
-    candidate = min(spec.duration, cap)
-    if spec.timeline_events_after(candidate):
-        return spec.duration
-    return candidate
+class TestGoldenCatalogFixtures:
+    """Every catalog scenario reproduces its committed golden fixture.
 
-
-class TestGoldenCatalogDeterminism:
-    """Every catalog scenario is byte-identical under a fixed seed.
-
-    This is the golden-determinism sweep the sweep engine's jobs-independence
-    contract builds on: if any single scenario were nondeterministic, parallel
-    and serial sweep reports could not match.
+    This is both the determinism sweep the sweep engine's jobs-independence
+    contract builds on (a nondeterministic scenario could not match a fixed
+    byte string) and the safety net for hot-path refactors: array-backed
+    telemetry, coalesced events and any future optimization must leave every
+    fixture byte-identical.  Regenerate intentionally via
+    ``PYTHONPATH=src python -m tests.golden.regenerate``.
     """
 
     @pytest.mark.parametrize("name", scenario_names())
-    def test_catalog_scenario_byte_identical_across_runs(self, name):
-        duration = _golden_duration(get_scenario(name))
-        first = run_scenario(get_scenario(name), seed=7, duration=duration)
-        second = run_scenario(get_scenario(name), seed=7, duration=duration)
-        assert first.to_json() == second.to_json()
+    def test_catalog_scenario_matches_golden_fixture(self, name):
+        path = golden.fixture_path(name)
+        assert path.exists(), (
+            f"missing golden fixture {path}; run "
+            "PYTHONPATH=src python -m tests.golden.regenerate"
+        )
+        assert golden.golden_json(name) == path.read_text()
+
+    @pytest.mark.parametrize("name", ["steady-churn", "rolling-node-failures", "megafleet-steady"])
+    def test_scalar_and_array_paths_are_byte_identical(self, name):
+        """The optimized defaults == the pre-optimization event structure.
+
+        ``telemetry="objects"`` + ``coalesce_events=False`` reproduces the
+        scalar per-event hot path; the result must match the default
+        vectorized/coalesced path byte for byte (jittered and deterministic
+        networks alike).
+        """
+        spec = get_scenario(name)
+        duration = golden.golden_duration(spec, cap=600.0)
+        fast = run_scenario(get_scenario(name), seed=5, duration=duration)
+        slow_spec = get_scenario(name)
+        slow_spec.config = {
+            **slow_spec.config,
+            "telemetry": "objects",
+            "coalesce_events": False,
+        }
+        slow = run_scenario(slow_spec, seed=5, duration=duration)
+        assert fast.canonical_json() == slow.canonical_json()
+
+    def test_perf_section_is_zeroed_in_goldens_but_measured_in_results(self):
+        result = run_scenario(_small_churn_spec(), seed=0)
+        assert result.perf["wall_clock_seconds"] > 0.0
+        assert result.perf["events_per_second"] > 0.0
+        zeroed = json.loads(result.canonical_json())["perf"]
+        assert zeroed == {"wall_clock_seconds": 0.0, "events_per_second": 0.0}
 
 
 class TestScenarioRunner:
@@ -171,13 +197,16 @@ class TestScenarioRunner:
 
     def test_same_spec_and_seed_is_byte_identical(self):
         spec = _small_churn_spec()
-        first = run_scenario(spec, seed=3).to_json()
-        second = run_scenario(_small_churn_spec(), seed=3).to_json()
+        first = run_scenario(spec, seed=3).canonical_json()
+        second = run_scenario(_small_churn_spec(), seed=3).canonical_json()
         assert first == second
 
     def test_different_seeds_differ(self):
         spec = _small_churn_spec()
-        assert run_scenario(spec, seed=0).to_json() != run_scenario(spec, seed=99).to_json()
+        assert (
+            run_scenario(spec, seed=0).canonical_json()
+            != run_scenario(spec, seed=99).canonical_json()
+        )
 
     def test_timeline_failure_and_recovery_applied(self):
         spec = _small_churn_spec(
