@@ -1,0 +1,161 @@
+"""Observability overhead benchmark: what does each pillar cost?
+
+The scale benchmark's CI-gated 100-LC churn cell (same spec, same seed, same
+workload streams) runs under three observability configurations:
+
+* **off** -- every pillar disabled.  ``ObservabilityPlane.build`` returns
+  ``None``, so no hook holds a plane: this is structurally the
+  pre-observability code path (asserted below: no plane service, no kernel
+  profiler, no transport tracer).
+* **metrics** -- the default configuration (metrics on, tracing/profiling
+  off).  Hot-path counters are mirrored by collectors at exposition time, so
+  the expected overhead is ~0.
+* **full** -- metrics + tracing + profiling: per-span recording and
+  per-event ``perf_counter`` pairs (reported, not gated).
+
+All three configurations must produce **byte-identical** canonical results
+(asserted unconditionally -- observability never changes simulated
+behaviour).  Rounds are interleaved across configurations and the fastest
+wall clock per configuration is kept, so slow machine drift hits every
+configuration alike.
+
+Gating (only under ``REPRO_BENCH_STRICT=1``, like the scale benchmark):
+metrics-on may cost at most 5% events/sec against the all-off run of the
+*same invocation* -- a paired same-machine comparison, which is the only
+honest way to resolve single-digit percentages.  The "all-off within ~1% of
+the pre-observability baseline" criterion is enforced structurally (the
+assertions above prove no instrumentation exists on that path, so it *is*
+the PR-4 code path), and cross-machine absolute regressions are already
+gated by the scale benchmark's baseline floor -- which, with metrics on by
+default, now exercises the metrics-on hot path.
+
+Results land in ``benchmarks/results/BENCH_OBS_OVERHEAD.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+from repro.metrics.report import ComparisonTable
+from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+from benchmarks.conftest import write_results_json
+from benchmarks.test_bench_scale import FLEETS, SEED, _fleet_spec
+
+#: Fleet size measured (the scale benchmark's CI-gated point).
+LCS = 100
+
+#: The observability configurations compared.
+CONFIGS = {
+    "off": {"metrics": False, "tracing": False, "profiling": False},
+    "metrics": {"metrics": True, "tracing": False, "profiling": False},
+    "full": {"metrics": True, "tracing": True, "profiling": True},
+}
+
+#: Interleaved timed repetitions per configuration; the fastest is kept.
+ROUNDS = 3
+
+
+def _obs_spec(pillars: dict) -> ScenarioSpec:
+    # Keep the scale benchmark's spec (and name: workload streams are keyed by
+    # it) so the all-off run is literally the scale benchmark's new path.
+    base = _fleet_spec(LCS, telemetry="arrays", coalesce=True).to_dict()
+    base["config"] = dict(base["config"])
+    base["config"]["observability"] = dict(pillars)
+    return ScenarioSpec.from_dict(base)
+
+
+def _run_once(label: str) -> dict:
+    runner = ScenarioRunner(_obs_spec(CONFIGS[label]), seed=SEED)
+    gc.collect()
+    gc.disable()
+    try:
+        result = runner.run()
+    finally:
+        gc.enable()
+    system = runner.system
+    if label == "off":
+        # All pillars off must mean structurally zero instrumentation: no
+        # plane service, no kernel profiler, no transport tracer.
+        assert system.obs is None
+        assert not system.sim.has_service("observability")
+        assert system.sim.profiler is None
+        assert system.network._tracer is None and system.network.obs is None
+    return {
+        "wall": result.perf["wall_clock_seconds"],
+        "events": system.sim.processed_events,
+        "canonical": result.canonical_json(),
+    }
+
+
+def _measure() -> dict:
+    best: dict = {}
+    for _ in range(ROUNDS):
+        for label in CONFIGS:
+            sample = _run_once(label)
+            entry = best.get(label)
+            if entry is None or sample["wall"] < entry["wall"]:
+                best[label] = sample
+    return {
+        label: {
+            "observability": dict(CONFIGS[label]),
+            "wall_clock_seconds": round(sample["wall"], 4),
+            "processed_events": int(sample["events"]),
+            "events_per_second": (
+                round(sample["events"] / sample["wall"], 1) if sample["wall"] > 0 else 0.0
+            ),
+            "_canonical": sample["canonical"],
+        }
+        for label, sample in best.items()
+    }
+
+
+def test_observability_overhead(benchmark):
+    entries = benchmark.pedantic(_measure, rounds=1, iterations=1, warmup_rounds=0)
+
+    # Observability never changes simulated behaviour: byte-identical results.
+    baseline_canonical = entries["off"].pop("_canonical")
+    for label in ("metrics", "full"):
+        assert entries[label].pop("_canonical") == baseline_canonical, (
+            f"observability config {label!r} changed the simulated result"
+        )
+
+    eps_off = entries["off"]["events_per_second"]
+    table = ComparisonTable("Observability overhead (100 LCs, churn)")
+    for label, entry in entries.items():
+        entry["relative_throughput"] = (
+            round(entry["events_per_second"] / eps_off, 4) if eps_off > 0 else 0.0
+        )
+        table.add_row(
+            config=label,
+            wall_s=entry["wall_clock_seconds"],
+            events=entry["processed_events"],
+            eps=entry["events_per_second"],
+            relative=entry["relative_throughput"],
+        )
+    table.print()
+
+    write_results_json(
+        "BENCH_OBS_OVERHEAD.json",
+        {
+            "benchmark": "obs-overhead",
+            "local_controllers": LCS,
+            "group_managers": FLEETS[LCS]["group_managers"],
+            "vms": FLEETS[LCS]["vms"],
+            "simulated_seconds": FLEETS[LCS]["duration"],
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "results_identical": True,
+            "configs": entries,
+        },
+    )
+
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        # Paired same-invocation comparison: the default (metrics-on)
+        # configuration may cost at most 5% events/sec.
+        relative = entries["metrics"]["relative_throughput"]
+        assert relative >= 0.95, (
+            f"metrics-on throughput is {relative:.3f}x of all-off "
+            "(gate: >= 0.95); collector-based mirroring should cost ~0"
+        )

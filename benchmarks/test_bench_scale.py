@@ -22,6 +22,12 @@ with its own smaller count would reward doing the same work in fewer events
 with a *lower* score).  ``improvement`` is therefore exactly the wall-clock
 speedup.
 
+A third, untimed run per fleet repeats the new path with profiling enabled
+and folds the event-loop breakdown into the fleet entry: component and
+handler wall-clock shares plus per-kind policy decision latency, so the
+scale numbers say *where* the time goes, not just how much.  The profiled
+run must stay canonically identical to the timed ones (asserted).
+
 Results land in ``benchmarks/results/BENCH_SCALE.json`` (per-fleet entries
 are merged across invocations).  The default run covers the 100-LC point so
 the tier-1 suite stays fast; set ``REPRO_BENCH_SCALE_FLEETS=100,500,2000``
@@ -125,11 +131,57 @@ def _run_path(lcs: int, telemetry: str, coalesce: bool) -> dict:
     }
 
 
+def _decision_latency(observability: dict) -> dict:
+    """Per-kind policy decision latency from a result observability section."""
+    counts = observability.get("histogram_counts", {}).get("policy_decision_seconds", {})
+    seconds = observability.get("histogram_seconds", {}).get("policy_decision_seconds", {})
+    by_kind: dict = {}
+    for labels, calls in counts.items():
+        kind = next(
+            (
+                part.split("=", 1)[1].strip('"')
+                for part in labels.split(",")
+                if part.startswith("kind=")
+            ),
+            labels,
+        )
+        agg = by_kind.setdefault(kind, {"calls": 0, "wall_seconds": 0.0})
+        agg["calls"] += int(calls)
+        agg["wall_seconds"] = round(agg["wall_seconds"] + seconds.get(labels, 0.0), 6)
+    return by_kind
+
+
+def _profile_fleet(lcs: int) -> dict:
+    """One profiled (untimed) new-path run: where does the wall clock go?"""
+    base = _fleet_spec(lcs, telemetry="arrays", coalesce=True).to_dict()
+    base["config"] = dict(base["config"])
+    base["config"]["observability"] = {"metrics": True, "tracing": False, "profiling": True}
+    runner = ScenarioRunner(ScenarioSpec.from_dict(base), seed=SEED)
+    result = runner.run()
+    summary = runner.system.obs.profiler.summary(top=8)
+    return {
+        "_canonical": result.canonical_json(),
+        "handler_calls": summary["handler_calls"],
+        "profiled_seconds": summary["total_seconds"],
+        "component_shares": {
+            name: entry["share"] for name, entry in summary["components"].items()
+        },
+        "top_handlers": {
+            name: {"calls": entry["calls"], "share": entry["share"]}
+            for name, entry in summary["handlers"].items()
+        },
+        "decision_latency": _decision_latency(result.observability),
+    }
+
+
 def _measure_fleet(lcs: int) -> dict:
     sizing = FLEETS[lcs]
     old = _run_path(lcs, telemetry="objects", coalesce=False)
     new = _run_path(lcs, telemetry="arrays", coalesce=True)
-    identical = old.pop("_canonical") == new.pop("_canonical")
+    new_canonical = new.pop("_canonical")
+    identical = old.pop("_canonical") == new_canonical
+    profile = _profile_fleet(lcs)
+    profiled_identical = profile.pop("_canonical") == new_canonical
     wall_old, wall_new = old.pop("_wall"), new.pop("_wall")
     reference_events = old["processed_events"]
     eps_old = reference_events / wall_old if wall_old > 0 else 0.0
@@ -150,6 +202,8 @@ def _measure_fleet(lcs: int) -> dict:
         ),
         "improvement": round(eps_new / eps_old, 2) if eps_old > 0 else 0.0,
         "results_identical": identical,
+        "profiled_result_identical": profiled_identical,
+        "profile": profile,
     }
 
 
@@ -204,6 +258,9 @@ def test_scale_vectorized_vs_scalar_path(benchmark):
     for entry in entries.values():
         assert entry["results_identical"], (
             f"old/new paths diverged at {entry['local_controllers']} LCs"
+        )
+        assert entry["profiled_result_identical"], (
+            f"profiling changed the result at {entry['local_controllers']} LCs"
         )
         assert entry["improvement"] > 0
     assert rows

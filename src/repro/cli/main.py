@@ -22,12 +22,17 @@ Sub-commands
     List, describe and run the declarative scenario catalog
     (:mod:`repro.scenarios`): ``scenario list``, ``scenario describe <name>``,
     ``scenario run <name> [--seed N] [--duration S] [--json]
-    [--policy kind=name ...]``.
+    [--policy kind=name ...] [--trace PATH] [--metrics-out PATH]``.
 
 ``repro-sim policy``
     Introspect the unified policy registry (:mod:`repro.policies`):
     ``policy list`` enumerates every registered policy of every kind;
     ``policy describe <kind> <name>`` prints one policy's parameter schema.
+
+``repro-sim obs``
+    Inspect observability exports: ``obs summarize <trace.json>`` aggregates a
+    Chrome trace-event file written by ``scenario run --trace`` into per-span
+    statistics.
 
 ``repro-sim sweep``
     List, describe and run declarative experiment grids
@@ -128,6 +133,31 @@ def _build_parser() -> argparse.ArgumentParser:
             "override a policy selection for the run (repeatable), e.g. "
             "--policy placement=best-fit --policy reconfiguration=aco"
         ),
+    )
+    scenario.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "enable tracing and write the run's causal trace to PATH as "
+            "Chrome trace-event JSON (open in Perfetto / chrome://tracing)"
+        ),
+    )
+    scenario.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help=(
+            "enable metrics and write the run's metric dump to PATH "
+            "(Prometheus text when PATH ends in .prom, canonical JSON otherwise)"
+        ),
+    )
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect observability exports (trace files)"
+    )
+    obs.add_argument("action", choices=["summarize"], help="what to do")
+    obs.add_argument("path", help="a Chrome trace-event JSON file written by scenario run --trace")
+    obs.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
 
     policy = subparsers.add_parser(
@@ -494,6 +524,99 @@ def _run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser
 
 
 # ------------------------------------------------------------------- scenario
+def _force_observability(spec: ScenarioSpec, tracing: bool, metrics: bool) -> ScenarioSpec:
+    """Turn on the pillars the requested exports need (spec overrides kept)."""
+    if not tracing and not metrics:
+        return spec
+    current = spec.config.get("observability") or {}
+    if hasattr(current, "to_dict"):  # tolerate a pre-built ObservabilityConfig
+        current = current.to_dict()
+    overrides = dict(current)
+    if tracing:
+        overrides["tracing"] = True
+    if metrics:
+        overrides["metrics"] = True
+    data = spec.to_dict()
+    data["config"] = dict(data["config"])
+    data["config"]["observability"] = overrides
+    return ScenarioSpec.from_dict(data)
+
+
+def _write_observability_exports(system, trace: Optional[str], metrics_out: Optional[str]) -> None:
+    """Write the requested trace/metrics exports after a scenario run."""
+    if system is None or system.obs is None:
+        return
+    if trace:
+        with open(trace, "w", encoding="utf-8") as handle:
+            json.dump(system.obs.chrome_trace(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        # Status notes go to stderr so --json keeps machine-readable stdout.
+        print(f"trace written to {trace}", file=sys.stderr)
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            if metrics_out.endswith(".prom"):
+                handle.write(system.obs.metrics_text())
+            else:
+                json.dump(system.obs.metrics_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
+
+
+def _run_obs(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Summarize a Chrome trace-event JSON file (``obs summarize <path>``)."""
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 1
+    events = trace.get("traceEvents", []) if isinstance(trace, dict) else []
+    tracks = {}
+    spans = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            tracks[event.get("tid")] = event.get("args", {}).get("name", "?")
+        elif event.get("ph") == "X":
+            entry = spans.setdefault(
+                event.get("name", "?"),
+                {"count": 0, "total_ms": 0.0, "max_ms": 0.0, "components": set()},
+            )
+            duration_ms = float(event.get("dur", 0)) / 1000.0
+            entry["count"] += 1
+            entry["total_ms"] += duration_ms
+            entry["max_ms"] = max(entry["max_ms"], duration_ms)
+            entry["components"].add(tracks.get(event.get("tid"), "?"))
+    summary = {
+        "events": sum(entry["count"] for entry in spans.values()),
+        "tracks": len(tracks),
+        "spans": {
+            name: {
+                "count": entry["count"],
+                "total_ms": round(entry["total_ms"], 3),
+                "max_ms": round(entry["max_ms"], 3),
+                "components": len(entry["components"]),
+            }
+            for name, entry in sorted(spans.items())
+        },
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"Trace: {args.path}")
+    print(f"  {summary['events']} spans across {summary['tracks']} tracks")
+    table = ComparisonTable("spans (simulated milliseconds)")
+    for name, entry in summary["spans"].items():
+        table.add_row(
+            span=name,
+            count=entry["count"],
+            total_ms=entry["total_ms"],
+            max_ms=entry["max_ms"],
+            components=entry["components"],
+        )
+    table.print()
+    return 0
+
+
 def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.action == "list" and args.policy:
         parser.error("--policy only applies to scenario run/describe")
@@ -548,6 +671,7 @@ def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
 
     try:
         spec = _apply_policy_overrides(spec, _parse_policy_overrides(args.policy))
+        spec = _force_observability(spec, tracing=bool(args.trace), metrics=bool(args.metrics_out))
         runner = ScenarioRunner(spec, seed=args.seed, duration=args.duration)
         result = runner.run()
     except ValueError as exc:
@@ -555,6 +679,7 @@ def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         # names, ...) are user errors, not crashes.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    _write_observability_exports(runner.system, trace=args.trace, metrics_out=args.metrics_out)
     if args.json:
         print(result.to_json())
         return 0
@@ -581,6 +706,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_scenario(args, parser)
     if args.command == "policy":
         return _run_policy(args, parser)
+    if args.command == "obs":
+        return _run_obs(args, parser)
     if args.command == "sweep":
         return _run_sweep_command(args, parser)
     parser.error(f"unknown command {args.command!r}")

@@ -17,6 +17,7 @@ from repro.hierarchy.config import HierarchyConfig
 from repro.metrics.recorder import EventLog
 from repro.network.rpc import RpcChannel
 from repro.network.transport import Network
+from repro.obs import OBSERVABILITY_SERVICE
 from repro.simulation.engine import Simulator
 
 
@@ -70,6 +71,11 @@ class SnoozeClient:
         self._next_entry_point = 0
         network.register(name, self._on_message)
         self.rpc = RpcChannel(network, name)
+        # The client is not a Component, so it discovers the observability
+        # plane itself; "vm_submit" root spans track each in-flight submission.
+        obs = sim.get_service(OBSERVABILITY_SERVICE) if sim.has_service(OBSERVABILITY_SERVICE) else None
+        self.tracer = obs.tracer if obs is not None else None
+        self._submit_spans: dict = {}
 
     def _on_message(self, message) -> None:
         self.rpc.handle_message(message)
@@ -84,6 +90,12 @@ class SnoozeClient:
         vm.mark_submitted(self.sim.now)
         record = SubmissionRecord(vm=vm, submitted_at=self.sim.now)
         self.records.append(record)
+        if self.tracer is not None:
+            # A fresh root trace per submission: every downstream span of the
+            # dispatch -> placement -> boot chain hangs off this one.
+            self._submit_spans[id(record)] = self.tracer.begin(
+                "vm_submit", self.name, root=True, vm=vm.vm_id
+            )
         self._try_entry_point(vm, record, attempts_left=len(self.entry_points), on_complete=on_complete)
         return record
 
@@ -113,10 +125,12 @@ class SnoozeClient:
         pool = untried or self.entry_points
         entry_point = pool[self._next_entry_point % len(pool)]
         self._next_entry_point += 1
+        span = self._submit_spans.get(id(record))
         self.rpc.call(
             entry_point,
             "submit_vm",
             kwargs={"vm": vm},
+            trace_ctx=span.ctx if span is not None else None,
             on_reply=lambda result: self._finish(record, result, on_complete),
             on_error=lambda error: self._finish(record, {"placed": False, "reason": error}, on_complete),
             on_timeout=lambda: self._try_entry_point(
@@ -132,6 +146,10 @@ class SnoozeClient:
         on_complete: Optional[Callable[[SubmissionRecord], None]],
     ) -> None:
         record.completed_at = self.sim.now
+        span = self._submit_spans.pop(id(record), None)
+        if span is not None:
+            span.attrs["placed"] = bool(result.get("placed")) if isinstance(result, dict) else False
+            self.tracer.end(span)
         if isinstance(result, dict):
             record.placed = bool(result.get("placed"))
             record.gm = result.get("gm")

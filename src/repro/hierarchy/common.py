@@ -23,6 +23,7 @@ from repro.network.message import Message, MessageType
 from repro.network.multicast import MulticastRegistry
 from repro.network.rpc import RpcChannel
 from repro.network.transport import Network
+from repro.obs import OBSERVABILITY_SERVICE
 from repro.simulation.engine import Simulator
 from repro.simulation.timers import PeriodicTimer, Timeout
 
@@ -49,6 +50,15 @@ class Component:
         self.rpc = RpcChannel(network, name)
         self._timers: List[PeriodicTimer] = []
         self._timeouts: List[Timeout] = []
+        #: The deployment's observability plane and tracer (None when the
+        #: plane is not built / the tracing pillar is off), discovered once at
+        #: construction so per-message paths pay a plain attribute read.
+        self.obs = (
+            sim.get_service(OBSERVABILITY_SERVICE)
+            if sim.has_service(OBSERVABILITY_SERVICE)
+            else None
+        )
+        self.tracer = self.obs.tracer if self.obs is not None else None
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:

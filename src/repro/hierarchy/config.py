@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.energy.power_manager import PowerManagerConfig
 from repro.network.transport import NetworkConfig
+from repro.obs import ObservabilityConfig
 from repro.policies import get_policy_spec
 from repro.policies.registry import validate_policy_selection
 from repro.policies.thresholds import UtilizationThresholds
@@ -105,6 +106,12 @@ class HierarchyConfig:
     #: Simulated management-network characteristics.
     network: NetworkConfig = field(default_factory=NetworkConfig)
 
+    # --------------------------------------------------------- observability
+    #: Which observability pillars to enable (metrics / tracing / profiling).
+    #: None of them affects simulated behaviour -- golden fixtures stay
+    #: byte-identical with every pillar on.
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+
     # ----------------------------------------------------------------- sizing
     #: Number of Entry Point replicas.
     entry_points: int = 1
@@ -150,6 +157,8 @@ class HierarchyConfig:
             raise ValueError("entry_points must be positive")
         if self.reconfiguration_interval is not None and self.reconfiguration_interval <= 0:
             raise ValueError("reconfiguration_interval must be positive or None")
+        if isinstance(self.observability, dict):
+            self.observability = ObservabilityConfig(**self.observability)
         self._resolve_policies()
 
     # -------------------------------------------------------------- policies

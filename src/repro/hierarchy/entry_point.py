@@ -71,10 +71,16 @@ class EntryPoint(Component):
             self.sim.trigger(reply, {"placed": False, "reason": "no group leader known"})
             return reply
         self.forwarded_submissions += 1
+        ctx = None
+        if self.tracer is not None:
+            span = self.tracer.begin("submit_forward", self.name, vm=vm.vm_id, gl=self.current_gl)
+            self.tracer.end_on(span, reply)
+            ctx = span.ctx
         self.rpc.call(
             self.current_gl,
             "submit_vm",
             kwargs={"vm": vm},
+            trace_ctx=ctx,
             on_reply=lambda result: self.sim.trigger(reply, result),
             on_error=lambda error: self.sim.trigger(reply, {"placed": False, "reason": error}),
             on_timeout=lambda: self.sim.trigger(

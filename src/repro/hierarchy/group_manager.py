@@ -45,6 +45,7 @@ from repro.monitoring.summary import GroupManagerSummary
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
 from repro.policies import ClusterView
+from repro.policies.registry import instrument_policy
 from repro.simulation.batch import DeadlineTable
 from repro.simulation.engine import Event, Simulator
 from repro.simulation.timers import PeriodicTimer, Timeout
@@ -120,6 +121,21 @@ class GroupManager(Component):
         self._gl_heartbeat_timer: Optional[PeriodicTimer] = None
         self.submissions_dispatched = 0
 
+        # Decision-latency metrics: every policy decision call is timed into
+        # the ``policy_decision_seconds`` histogram, labeled by kind and
+        # component (instance-level shadowing -- ``policy.thresholds``
+        # mutation by runtime control keeps working).
+        if self.obs is not None and self.obs.registry is not None:
+            for kind, policy in (
+                ("placement", self.placement_policy),
+                ("overload-relocation", self.overload_policy),
+                ("underload-relocation", self.underload_policy),
+                ("reconfiguration", self.reconfiguration_policy),
+                ("dispatching", self.dispatching_policy),
+                ("assignment", self.assignment_policy),
+            ):
+                instrument_policy(policy, self.obs.decision_observer(kind, self.name))
+
         # --- Election.
         self.election: Optional[LeaderElection] = None
 
@@ -186,6 +202,8 @@ class GroupManager(Component):
         self.is_leader = True
         self.current_gl = self.name
         self.log_event("elected_group_leader")
+        if self.tracer is not None:
+            self.tracer.instant("elected_group_leader", self.name)
         self.gm_summaries.setdefault(self.name, self._build_summary())
         if self._gl_heartbeat_timer is None:
             self._gl_heartbeat_timer = self.add_timer(
@@ -325,6 +343,8 @@ class GroupManager(Component):
         if timeout is not None:
             self.discard_timeout(timeout)
         self.log_event("gm_removed", gm=gm_name)
+        if self.tracer is not None:
+            self.tracer.instant("gm_failure_detected", self.name, gm=gm_name)
 
     def _on_gm_summary(self, message: Message) -> None:
         if not self.is_leader:
@@ -359,6 +379,8 @@ class GroupManager(Component):
         if self.power_manager is not None and record["node"] in self.power_manager.nodes:
             self.power_manager.nodes.remove(record["node"])
         self.log_event("lc_removed", lc=lc_name)
+        if self.tracer is not None:
+            self.tracer.instant("lc_failure_detected", self.name, lc=lc_name)
 
     def _on_lc_heartbeat(self, message: Message) -> None:
         record = self.local_controllers.get(message.sender)
@@ -443,6 +465,11 @@ class GroupManager(Component):
     def _op_submit_vm(self, vm: VirtualMachine) -> Event:
         """Dispatch a submitted VM to a GM (candidate list + linear search, Section II.C)."""
         reply = self.sim.event()
+        ctx = None
+        if self.tracer is not None:
+            span = self.tracer.begin("vm_dispatch", self.name, vm=vm.vm_id)
+            self.tracer.end_on(span, reply)
+            ctx = span.ctx
         if not self.is_leader:
             self.sim.trigger(reply, {"placed": False, "reason": "not the group leader"})
             return reply
@@ -455,10 +482,12 @@ class GroupManager(Component):
                 reply, {"placed": False, "reason": decision.reason or "no group managers"}
             )
             return reply
-        self._probe_candidates(vm, decision.candidates, 0, reply)
+        self._probe_candidates(vm, decision.candidates, 0, reply, ctx)
         return reply
 
-    def _probe_candidates(self, vm: VirtualMachine, candidates: List[str], index: int, reply: Event) -> None:
+    def _probe_candidates(
+        self, vm: VirtualMachine, candidates: List[str], index: int, reply: Event, ctx=None
+    ) -> None:
         if index >= len(candidates):
             self.sim.trigger(reply, {"placed": False, "reason": "all group managers rejected the VM"})
             return
@@ -467,28 +496,43 @@ class GroupManager(Component):
             gm_name,
             "place_vm",
             kwargs={"vm": vm},
-            on_reply=lambda result: self._on_probe_reply(vm, candidates, index, reply, result),
-            on_error=lambda _err: self._probe_candidates(vm, candidates, index + 1, reply),
-            on_timeout=lambda: self._probe_candidates(vm, candidates, index + 1, reply),
+            on_reply=lambda result: self._on_probe_reply(vm, candidates, index, reply, result, ctx),
+            on_error=lambda _err: self._probe_candidates(vm, candidates, index + 1, reply, ctx),
+            on_timeout=lambda: self._probe_candidates(vm, candidates, index + 1, reply, ctx),
             timeout=self.config.placement_timeout,
+            trace_ctx=ctx,
         )
 
-    def _on_probe_reply(self, vm: VirtualMachine, candidates: List[str], index: int, reply: Event, result) -> None:
+    def _on_probe_reply(
+        self, vm: VirtualMachine, candidates: List[str], index: int, reply: Event, result, ctx=None
+    ) -> None:
         if isinstance(result, dict) and result.get("placed"):
             result = dict(result)
             result.setdefault("gm", candidates[index])
             self.sim.trigger(reply, result)
         else:
-            self._probe_candidates(vm, candidates, index + 1, reply)
+            self._probe_candidates(vm, candidates, index + 1, reply, ctx)
 
     # ------------------------------------------------------- GM: VM placement
     def _op_place_vm(self, vm: VirtualMachine) -> Event:
         """Place a VM on one of this GM's Local Controllers (Section II.C)."""
         reply = self.sim.event()
-        self._attempt_placement(vm, reply, allow_wakeup=True)
+        ctx = None
+        if self.tracer is not None:
+            span = self.tracer.begin("vm_placement", self.name, vm=vm.vm_id)
+            self.tracer.end_on(span, reply)
+            ctx = span.ctx
+        self._attempt_placement(vm, reply, allow_wakeup=True, ctx=ctx)
         return reply
 
-    def _attempt_placement(self, vm: VirtualMachine, reply: Event, allow_wakeup: bool, exclude: Optional[set] = None) -> None:
+    def _attempt_placement(
+        self,
+        vm: VirtualMachine,
+        reply: Event,
+        allow_wakeup: bool,
+        exclude: Optional[set] = None,
+        ctx=None,
+    ) -> None:
         exclude = exclude or set()
         view = ClusterView.from_nodes(
             [
@@ -505,7 +549,7 @@ class GroupManager(Component):
             if allow_wakeup and self.power_manager is not None:
                 woken = self.power_manager.wake_one(
                     on_ready=lambda _node: self._attempt_placement(
-                        vm, reply, allow_wakeup=True, exclude=exclude
+                        vm, reply, allow_wakeup=True, exclude=exclude, ctx=ctx
                     )
                 )
                 if woken:
@@ -522,13 +566,16 @@ class GroupManager(Component):
             lc_name,
             "start_vm",
             kwargs={"vm": vm},
-            on_reply=lambda result: self._on_start_reply(vm, lc_name, reply, result, exclude),
-            on_error=lambda _err: self._retry_placement(vm, reply, exclude, lc_name),
-            on_timeout=lambda: self._retry_placement(vm, reply, exclude, lc_name),
+            on_reply=lambda result: self._on_start_reply(vm, lc_name, reply, result, exclude, ctx),
+            on_error=lambda _err: self._retry_placement(vm, reply, exclude, lc_name, ctx),
+            on_timeout=lambda: self._retry_placement(vm, reply, exclude, lc_name, ctx),
             timeout=self.config.rpc_timeout,
+            trace_ctx=ctx,
         )
 
-    def _on_start_reply(self, vm: VirtualMachine, lc_name: str, reply: Event, result, exclude: set) -> None:
+    def _on_start_reply(
+        self, vm: VirtualMachine, lc_name: str, reply: Event, result, exclude: set, ctx=None
+    ) -> None:
         if isinstance(result, dict) and result.get("accepted"):
             self.placements_performed += 1
             self.sim.trigger(
@@ -536,15 +583,17 @@ class GroupManager(Component):
                 {"placed": True, "gm": self.name, "lc": lc_name, "node_id": result.get("node_id")},
             )
         else:
-            self._retry_placement(vm, reply, exclude, lc_name)
+            self._retry_placement(vm, reply, exclude, lc_name, ctx)
 
-    def _retry_placement(self, vm: VirtualMachine, reply: Event, exclude: set, failed_lc: str) -> None:
+    def _retry_placement(
+        self, vm: VirtualMachine, reply: Event, exclude: set, failed_lc: str, ctx=None
+    ) -> None:
         # The rejected LC is excluded; wake-ups stay allowed so a burst of
         # submissions larger than the powered-on capacity fans out over
         # additional hosts (each failed attempt wakes at most one more host,
         # and the suspended pool is finite, so this terminates).
         exclude = set(exclude) | {failed_lc}
-        self._attempt_placement(vm, reply, allow_wakeup=True, exclude=exclude)
+        self._attempt_placement(vm, reply, allow_wakeup=True, exclude=exclude, ctx=ctx)
 
     def _lc_of_node(self, node: PhysicalNode) -> Optional[str]:
         for lc_name, record in self.local_controllers.items():
@@ -554,24 +603,26 @@ class GroupManager(Component):
 
     # --------------------------------------------------------- GM: relocation
     def _on_overload(self, message: Message) -> None:
-        if not self.config.relocation_enabled:
-            return
-        record = self.local_controllers.get(message.sender)
-        if record is None:
-            return
-        source: PhysicalNode = record["node"]
-        decision = self.overload_policy.decide(source, self.managed_nodes())
-        self._execute_moves(decision.moves, reason="overload")
+        self._on_anomaly(message, self.overload_policy, "overload")
 
     def _on_underload(self, message: Message) -> None:
+        self._on_anomaly(message, self.underload_policy, "underload")
+
+    def _on_anomaly(self, message: Message, policy, reason: str) -> None:
+        """Shared overload/underload handling: decide moves and execute them."""
         if not self.config.relocation_enabled:
             return
         record = self.local_controllers.get(message.sender)
         if record is None:
             return
         source: PhysicalNode = record["node"]
-        decision = self.underload_policy.decide(source, self.managed_nodes())
-        self._execute_moves(decision.moves, reason="underload")
+        if self.tracer is None:
+            decision = policy.decide(source, self.managed_nodes())
+            self._execute_moves(decision.moves, reason=reason)
+            return
+        with self.tracer.span(f"{reason}_relocation", self.name, node=source.node_id):
+            decision = policy.decide(source, self.managed_nodes())
+            self._execute_moves(decision.moves, reason=reason)
 
     def _execute_moves(self, moves, reason: str) -> int:
         """Send migrate commands to the source LCs for each planned move."""
@@ -595,17 +646,36 @@ class GroupManager(Component):
     # ---------------------------------------------------- GM: reconfiguration
     def _reconfiguration_tick(self) -> None:
         """Periodic consolidation of this GM's moderately loaded hosts (Section II.C)."""
+        if self.tracer is None:
+            self._run_reconfiguration()
+            return
+        # ACO cycle phases as nested spans: the cycle root, the planning phase
+        # and (when the plan is non-empty) the execution phase with the
+        # migrate RPCs causally attached via the active context.
+        with self.tracer.span("reconfiguration_cycle", self.name):
+            self._run_reconfiguration()
+
+    def _run_reconfiguration(self) -> None:
         nodes = self.managed_nodes()
         if len(nodes) < 2:
             return
-        plan = self.reconfiguration_policy.plan(nodes)
+        tracer = self.tracer
+        if tracer is None:
+            plan = self.reconfiguration_policy.plan(nodes)
+        else:
+            with tracer.span("reconfiguration_plan", self.name, nodes=len(nodes)):
+                plan = self.reconfiguration_policy.plan(nodes)
         self.reconfiguration_rounds += 1
         if self.sim.has_service(EnergyMeter.SERVICE_NAME):
             runtime = plan.consolidation_summary.get("runtime_seconds", 0.0)
             self.sim.get_service(EnergyMeter.SERVICE_NAME).charge_computation_runtime(runtime)
         if plan.empty:
             return
-        executed = self._execute_moves(plan.moves, reason="reconfiguration")
+        if tracer is None:
+            executed = self._execute_moves(plan.moves, reason="reconfiguration")
+        else:
+            with tracer.span("reconfiguration_execute", self.name, moves=len(plan.moves)):
+                executed = self._execute_moves(plan.moves, reason="reconfiguration")
         self.log_event(
             "reconfiguration",
             migrations=executed,

@@ -95,6 +95,8 @@ class LocalController(Component):
         self._heartbeat_payload = {"node_id": self.node.node_id}
         #: Seconds between repeated anomaly reports for a persisting condition.
         self.anomaly_cooldown = 3 * self.config.monitoring_interval
+        #: Open "lc_rejoin" trace span (failure detected -> rejoined), if any.
+        self._rejoin_span = None
         self.rpc.register_operation("start_vm", self._op_start_vm)
         self.rpc.register_operation("terminate_vm", self._op_terminate_vm)
         self.rpc.register_operation("migrate_vm", self._op_migrate_vm)
@@ -222,6 +224,10 @@ class LocalController(Component):
             )
         else:
             self._gm_timeout = self.add_timeout(self.config.heartbeat_timeout, self._gm_lost)
+        if self._rejoin_span is not None:
+            self._rejoin_span.attrs["gm"] = gm_name
+            self.tracer.end(self._rejoin_span)
+            self._rejoin_span = None
         self.log_event("lc_joined", gm=gm_name)
 
     def _join_failed(self) -> None:
@@ -231,6 +237,12 @@ class LocalController(Component):
         """The assigned GM's heartbeats stopped: rejoin the hierarchy (Section II.E)."""
         if self.assigned_gm is not None:
             self.log_event("gm_lost", gm=self.assigned_gm)
+            if self.tracer is not None:
+                if self._rejoin_span is not None:  # stale: previous rejoin never completed
+                    self.tracer.end(self._rejoin_span)
+                self._rejoin_span = self.tracer.begin(
+                    "lc_rejoin", self.name, root=True, lost_gm=self.assigned_gm
+                )
             self.multicast.group(gm_heartbeat_group(self.assigned_gm)).unsubscribe(self.name)
         self.assigned_gm = None
         if self.current_gl is not None and not self._joining:
@@ -358,6 +370,12 @@ class LocalController(Component):
         """Enforce a VM start command from the GM."""
         if self.node.state is not NodeState.ON or not self.node.fits(vm):
             return {"accepted": False, "reason": "insufficient capacity"}
+        if self.tracer is not None:
+            with self.tracer.span("vm_boot", self.name, vm=vm.vm_id):
+                return self._start_vm(vm)
+        return self._start_vm(vm)
+
+    def _start_vm(self, vm: VirtualMachine) -> dict:
         self.node.place_vm(vm, now=self.sim.now)
         self.monitor.track_vm(vm)
         if vm.runtime is not None:

@@ -36,6 +36,8 @@ from repro.metrics.recorder import EventLog, TimeSeriesRecorder
 from repro.migration.model import MigrationCostModel, MigrationExecutor
 from repro.network.multicast import MulticastRegistry
 from repro.network.transport import Network
+from repro.obs import ObservabilityPlane
+from repro.simulation.batch import CoalescedTicker
 from repro.simulation.engine import Simulator
 from repro.simulation.randomness import RandomRouter
 from repro.workloads.generator import VMRequest
@@ -75,6 +77,19 @@ class SnoozeSystem:
         self.random = RandomRouter(self.config.seed)
         self.sim = Simulator()
         self.event_log = EventLog()
+
+        # --- observability plane (registered before the network and the
+        # components so both discover it as a service at construction time;
+        # None when every pillar is off, which costs nothing anywhere)
+        self.obs = ObservabilityPlane.build(self.sim, self.config.observability)
+        if self.obs is not None:
+            if self.obs.registry is not None:
+                self.obs.watch_simulator()
+                self.event_log.bind_metrics(self.obs.registry)
+            if self.obs.profiler is not None:
+                self.sim.profiler = self.obs.profiler
+                if self.config.coalesce_events:
+                    CoalescedTicker.shared(self.sim).profiler = self.obs.profiler
 
         # --- network + multicast + coordination
         self.network = Network(self.sim, self.config.network, rng=self.random.stream("network"))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -21,30 +22,67 @@ class EventRecord:
 
 
 class EventLog:
-    """Append-only log of discrete events (failures, elections, migrations...)."""
+    """Append-only log of discrete events (failures, elections, migrations...).
+
+    Counts and per-category filtering are indexed at record time, so
+    :meth:`count` is O(1) and :meth:`events` with a category copies only that
+    category's records -- result collection calls both once per category, which
+    used to scan the full log each time.
+    """
 
     def __init__(self) -> None:
         self._records: List[EventRecord] = []
+        self._counts: Counter = Counter()
+        self._by_category: Dict[str, List[EventRecord]] = {}
+        self._metric_family = None
+        self._metric_handles: Dict[str, object] = {}
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror the log into an ``events_total{category=...}`` counter family.
+
+        Every :meth:`record` call feeds both the log and the registry, so the
+        two event paths cannot drift.  Events recorded before binding are
+        backfilled from the per-category counts.
+        """
+        self._metric_family = registry.counter(
+            "events_total", help="Discrete events recorded in the event log."
+        )
+        for category, count in self._counts.items():
+            self._metric_family.labels(category=category).inc(count)
 
     def record(self, timestamp: float, category: str, **details) -> EventRecord:
         """Append an event and return it."""
         record = EventRecord(timestamp=timestamp, category=category, details=details)
         self._records.append(record)
+        self._counts[category] += 1
+        index = self._by_category.get(category)
+        if index is None:
+            index = self._by_category[category] = []
+        index.append(record)
+        if self._metric_family is not None:
+            handle = self._metric_handles.get(category)
+            if handle is None:
+                handle = self._metric_handles[category] = self._metric_family.labels(
+                    category=category
+                )
+            handle.inc()
         return record
 
     def events(self, category: Optional[str] = None) -> List[EventRecord]:
         """All events, optionally filtered by category."""
         if category is None:
             return list(self._records)
-        return [record for record in self._records if record.category == category]
+        return list(self._by_category.get(category, ()))
 
     def count(self, category: Optional[str] = None) -> int:
-        """Number of events (optionally of one category)."""
-        return len(self.events(category))
+        """Number of events (optionally of one category); O(1) either way."""
+        if category is None:
+            return len(self._records)
+        return self._counts.get(category, 0)
 
     def categories(self) -> List[str]:
         """Distinct categories seen so far."""
-        return sorted({record.category for record in self._records})
+        return sorted(self._counts)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -89,6 +89,11 @@ class Message:
     sent_at: Optional[float] = None
     #: Simulated delivery time, stamped by the transport.
     delivered_at: Optional[float] = None
+    #: Causal trace context ``(trace_id, span_id)``.  Stamped by the transport
+    #: from the tracer's active context when tracing is enabled (or set
+    #: explicitly, e.g. by the RPC layer); the transport re-activates it
+    #: around delivery so receiving handlers inherit the sender's causality.
+    trace_ctx: Optional[tuple] = None
 
     def reply(self, msg_type: MessageType, payload: Any = None) -> "Message":
         """Build a response addressed back to the sender, preserving correlation."""

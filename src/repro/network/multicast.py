@@ -33,6 +33,7 @@ class MulticastGroup:
         self._subscriber_set: set = set()
         #: Number of publish calls (for overhead accounting).
         self.publish_count = 0
+        self._publish_metric = None
 
     # ---------------------------------------------------------- subscription
     def subscribe(self, endpoint_name: str) -> None:
@@ -69,6 +70,15 @@ class MulticastGroup:
         instead of one per subscriber.
         """
         self.publish_count += 1
+        if self._publish_metric is None:
+            obs = self.network.obs
+            if obs is not None and obs.registry is not None:
+                self._publish_metric = obs.registry.counter(
+                    "multicast_publishes_total",
+                    help="Publish calls per multicast group.",
+                ).labels(group=self.group_name)
+        if self._publish_metric is not None:
+            self._publish_metric.inc()
         fanout = 0
         send = self.network.send
         for subscriber in list(self._subscribers):

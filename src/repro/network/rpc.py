@@ -105,12 +105,18 @@ class RpcChannel:
         on_error: Optional[Callable[[str], None]] = None,
         on_timeout: Optional[Callable[[], None]] = None,
         timeout: float = 5.0,
+        trace_ctx: Optional[tuple] = None,
     ) -> int:
         """Invoke ``operation`` on ``recipient``; returns the correlation id.
 
         Exactly one of the three callbacks fires per call: ``on_reply(result)``
         on success, ``on_error(message)`` if the remote handler raised or the
         operation is unknown, ``on_timeout()`` if no reply arrives in time.
+
+        ``trace_ctx`` pins the request to a specific causal span; without it
+        the transport stamps whatever context is active at send time, which is
+        wrong for calls issued outside the originating chain (retries after a
+        timeout, wake-up continuations).
         """
         correlation_id = next(self._correlation)
         message = Message(
@@ -119,6 +125,7 @@ class RpcChannel:
             recipient=recipient,
             payload={"operation": operation, "kwargs": kwargs or {}},
             correlation_id=correlation_id,
+            trace_ctx=trace_ctx,
         )
         record = {
             "on_reply": on_reply,

@@ -87,8 +87,26 @@ class Network:
         self._open_batch: Optional[List[Message]] = None
         self._open_batch_time = -1.0
         self._open_batch_event: Optional[Event] = None
+        #: Observability plane + tracer (None when the plane is not built).
+        self.obs = None
+        self._tracer = None
         if not sim.has_service(self.SERVICE_NAME):
             sim.register_service(self.SERVICE_NAME, self)
+        if sim.has_service("observability"):
+            self.use_observability(sim.get_service("observability"))
+
+    def use_observability(self, plane) -> None:
+        """Attach an observability plane.
+
+        Tracing hooks the per-message path (context stamping / activation);
+        metrics are mirrored through a registry *collector* that copies
+        :meth:`stats` at exposition time, so the send/deliver hot path carries
+        no metric writes at all.
+        """
+        self.obs = plane
+        self._tracer = plane.tracer
+        if plane.registry is not None:
+            plane.watch_network(self)
 
     # -------------------------------------------------------------- endpoints
     def register(self, name: str, handler: Callable[[Message], None]) -> Endpoint:
@@ -138,6 +156,9 @@ class Network:
         """
         self.messages_sent += 1
         self.bytes_sent += int(size_bytes)
+        tracer = self._tracer
+        if tracer is not None and message.trace_ctx is None:
+            message.trace_ctx = tracer.current
         sender = self._endpoints.get(message.sender)
         if sender is not None:
             sender.sent_count += 1
@@ -184,7 +205,18 @@ class Network:
             return
         message.delivered_at = self.sim.now
         self.messages_delivered += 1
-        recipient.deliver(message)
+        tracer = self._tracer
+        if tracer is None:
+            recipient.deliver(message)
+            return
+        # Activate the sender's causal context for the handler and restore it
+        # afterwards, so batched same-instant deliveries cannot leak context
+        # from one message's handler into the next.
+        previous = tracer.activate(message.trace_ctx)
+        try:
+            recipient.deliver(message)
+        finally:
+            tracer.restore(previous)
 
     # ---------------------------------------------------------------- metrics
     def stats(self) -> dict:

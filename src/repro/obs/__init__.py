@@ -1,0 +1,51 @@
+"""repro.obs -- the fleet observability plane.
+
+Three config-gated pillars behind one simulator service:
+
+* **metrics** (:mod:`repro.obs.metrics`): array-backed counters / gauges /
+  histograms with Prometheus text exposition and canonical JSON dumps;
+* **tracing** (:mod:`repro.obs.tracing`): deterministic causal spans over
+  simulated time, propagated through ``Message.trace_ctx`` and exported as
+  Chrome trace-event JSON (opens in Perfetto);
+* **profiling** (:mod:`repro.obs.profiling`): wall-clock attribution of event
+  handlers, fed by opt-in hooks in the simulation kernel.
+
+Enabling any pillar never changes simulated behaviour: golden fixtures stay
+byte-identical, and wall-clock values only appear in exports, never in
+``canonical_json()``.
+"""
+
+from repro.obs.metrics import (
+    CounterFamily,
+    DEFAULT_SECONDS_BUCKETS,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+from repro.obs.plane import (
+    OBS_WALLCLOCK_KEYS,
+    OBSERVABILITY_SERVICE,
+    ObservabilityConfig,
+    ObservabilityPlane,
+    deterministic_observability,
+)
+from repro.obs.profiling import EventLoopProfiler, handler_key
+from repro.obs.tracing import Span, TraceContext, Tracer
+
+__all__ = [
+    "CounterFamily",
+    "DEFAULT_SECONDS_BUCKETS",
+    "EventLoopProfiler",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "OBS_WALLCLOCK_KEYS",
+    "OBSERVABILITY_SERVICE",
+    "ObservabilityConfig",
+    "ObservabilityPlane",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "deterministic_observability",
+    "handler_key",
+]

@@ -1,0 +1,348 @@
+"""Array-backed metrics: counters, gauges and histograms without object churn.
+
+The registry follows the PR-4 TelemetryPlane storage discipline: every metric
+family keeps its values in preallocated numpy buffers keyed by label-set
+slots, so the steady-state cost of an increment is one array write through a
+cached handle -- no per-increment allocation, no per-sample objects.
+
+Two consumption formats are supported:
+
+* :meth:`MetricsRegistry.to_text` -- Prometheus text exposition (``# HELP`` /
+  ``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` / ``_count`` histogram
+  series) for scraping-style tooling;
+* :meth:`MetricsRegistry.to_dict` -- canonical plain-data dumps (sorted keys)
+  for JSON reports and tests.
+
+Hot-path counters that already exist elsewhere (the transport's message
+counters, the simulator's processed-event count) are mirrored through
+*collectors*: callables registered with :meth:`MetricsRegistry.add_collector`
+that copy the source values into metric slots at exposition time, so the
+per-message/per-event fast paths stay untouched.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+#: Initial slot capacity of a family's value arrays (grown geometrically).
+_INITIAL_SLOTS = 64
+
+#: Default histogram bucket upper bounds (seconds): spans microsecond-scale
+#: handler timings up to second-scale consolidation runs.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical slot key of a label set (sorted, stringified)."""
+    return tuple(sorted((str(name), str(value)) for name, value in labels.items()))
+
+
+def label_string(key: Tuple[Tuple[str, str], ...]) -> str:
+    """Render a slot key as Prometheus-style ``name="value"`` pairs."""
+    return ",".join(f'{name}="{value}"' for name, value in key)
+
+
+def _format_value(value: float) -> str:
+    """Exposition-friendly number rendering (integers without a trailing .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class CounterHandle:
+    """A cached (family, slot) pair: increments are one array write."""
+
+    __slots__ = ("family", "slot")
+
+    def __init__(self, family: "_ValueFamily", slot: int) -> None:
+        self.family = family
+        self.slot = slot
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (counters are monotonic by convention)."""
+        self.family._values[self.slot] += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the value (used by collectors mirroring external counters)."""
+        self.family._values[self.slot] = value
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return float(self.family._values[self.slot])
+
+
+#: Gauges share the handle implementation; only the family kind differs.
+GaugeHandle = CounterHandle
+
+
+class HistogramHandle:
+    """A cached histogram slot: observations are a bisect plus array writes."""
+
+    __slots__ = ("family", "slot")
+
+    def __init__(self, family: "HistogramFamily", slot: int) -> None:
+        self.family = family
+        self.slot = slot
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        family = self.family
+        family._counts[self.slot, bisect_left(family.bounds, value)] += 1
+        family._sums[self.slot] += value
+        family._totals[self.slot] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return int(self.family._totals[self.slot])
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        return float(self.family._sums[self.slot])
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, last entry is the +Inf bucket."""
+        return self.family._counts[self.slot].tolist()
+
+
+class _FamilyBase:
+    """Shared slot management of all metric families."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._slots: Dict[Tuple[Tuple[str, str], ...], int] = {}
+        self._handles: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+    def labels(self, **labels: object):
+        """The handle for one label set (``labels()`` is the unlabeled series)."""
+        key = _label_key(labels)
+        handle = self._handles.get(key)
+        if handle is None:
+            slot = self._claim(key)
+            handle = self._make_handle(slot)
+            self._handles[key] = handle
+        return handle
+
+    def _claim(self, key: Tuple[Tuple[str, str], ...]) -> int:
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = len(self._slots)
+            if slot >= self._capacity():
+                self._grow()
+            self._slots[key] = slot
+        return slot
+
+    def series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], object]]:
+        """(label key, handle) pairs in sorted label order."""
+        return [(key, self.labels(**dict(key))) for key in sorted(self._slots)]
+
+    # Subclass storage hooks -------------------------------------------------
+    def _capacity(self) -> int:
+        raise NotImplementedError
+
+    def _grow(self) -> None:
+        raise NotImplementedError
+
+    def _make_handle(self, slot: int):
+        raise NotImplementedError
+
+
+class _ValueFamily(_FamilyBase):
+    """A family holding one float per label set (counters and gauges)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values = np.zeros(_INITIAL_SLOTS, dtype=float)
+
+    def _capacity(self) -> int:
+        return len(self._values)
+
+    def _grow(self) -> None:
+        fresh = np.zeros(2 * len(self._values), dtype=float)
+        fresh[: len(self._values)] = self._values
+        self._values = fresh
+
+    def _make_handle(self, slot: int) -> CounterHandle:
+        return CounterHandle(self, slot)
+
+
+class CounterFamily(_ValueFamily):
+    """A monotonic counter family."""
+
+    kind = "counter"
+
+
+class GaugeFamily(_ValueFamily):
+    """A gauge family (values may go up and down)."""
+
+    kind = "gauge"
+
+
+class HistogramFamily(_FamilyBase):
+    """A histogram family with fixed bucket bounds shared by every label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a non-empty sorted sequence")
+        #: Finite bucket upper bounds; observations beyond the last bound land
+        #: in an implicit +Inf bucket.
+        self.bounds: Tuple[float, ...] = tuple(float(bound) for bound in buckets)
+        self._counts = np.zeros((_INITIAL_SLOTS, len(self.bounds) + 1), dtype=np.int64)
+        self._sums = np.zeros(_INITIAL_SLOTS, dtype=float)
+        self._totals = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+
+    def _capacity(self) -> int:
+        return len(self._sums)
+
+    def _grow(self) -> None:
+        old = len(self._sums)
+        counts = np.zeros((2 * old, self._counts.shape[1]), dtype=np.int64)
+        counts[:old] = self._counts
+        self._counts = counts
+        for attr in ("_sums", "_totals"):
+            current = getattr(self, attr)
+            fresh = np.zeros(2 * old, dtype=current.dtype)
+            fresh[:old] = current
+            setattr(self, attr, fresh)
+
+    def _make_handle(self, slot: int) -> HistogramHandle:
+        return HistogramHandle(self, slot)
+
+
+class MetricsRegistry:
+    """One namespace of metric families plus lazy collectors."""
+
+    #: Prefix applied to every family name in the text exposition.
+    NAMESPACE = "repro"
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _FamilyBase] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------- families
+    def counter(self, name: str, help: str = "") -> CounterFamily:
+        """Get or create the counter family ``name``."""
+        return self._family(name, CounterFamily, help)
+
+    def gauge(self, name: str, help: str = "") -> GaugeFamily:
+        """Get or create the gauge family ``name``."""
+        return self._family(name, GaugeFamily, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> HistogramFamily:
+        """Get or create the histogram family ``name``."""
+        family = self._families.get(name)
+        if family is None:
+            family = HistogramFamily(name, help, buckets=buckets)
+            self._families[name] = family
+        elif not isinstance(family, HistogramFamily):
+            raise ValueError(f"metric {name!r} already registered as {family.kind}")
+        elif tuple(buckets) != family.bounds:
+            raise ValueError(f"histogram {name!r} already registered with other buckets")
+        return family
+
+    def _family(self, name: str, cls, help: str):
+        family = self._families.get(name)
+        if family is None:
+            family = cls(name, help)
+            self._families[name] = family
+        elif type(family) is not cls:
+            raise ValueError(f"metric {name!r} already registered as {family.kind}")
+        return family
+
+    def families(self) -> List[_FamilyBase]:
+        """All families in sorted-name order."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------ collectors
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callable run before every exposition/dump.
+
+        Collectors mirror counters maintained by hot paths elsewhere (the
+        transport, the simulator) into metric slots, keeping those paths free
+        of per-event metric writes.
+        """
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector (idempotent between updates)."""
+        for collector in self._collectors:
+            collector()
+
+    # ----------------------------------------------------------- exposition
+    def to_text(self) -> str:
+        """Prometheus text exposition of every family (collectors included)."""
+        self.collect()
+        lines: List[str] = []
+        for family in self.families():
+            full = f"{self.NAMESPACE}_{family.name}"
+            if family.help:
+                lines.append(f"# HELP {full} {family.help}")
+            lines.append(f"# TYPE {full} {family.kind}")
+            if isinstance(family, HistogramFamily):
+                for key, handle in family.series():
+                    labels = label_string(key)
+                    prefix = f"{labels}," if labels else ""
+                    cumulative = 0
+                    for bound, count in zip(family.bounds, handle.bucket_counts()):
+                        cumulative += count
+                        lines.append(
+                            f'{full}_bucket{{{prefix}le="{_format_value(bound)}"}} {cumulative}'
+                        )
+                    lines.append(f'{full}_bucket{{{prefix}le="+Inf"}} {handle.count}')
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{full}_sum{suffix} {_format_value(handle.sum)}")
+                    lines.append(f"{full}_count{suffix} {handle.count}")
+            else:
+                for key, handle in family.series():
+                    labels = label_string(key)
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{full}{suffix} {_format_value(handle.value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data dump: family -> label string -> value(s)."""
+        self.collect()
+        counters: Dict[str, Dict[str, float]] = {}
+        gauges: Dict[str, Dict[str, float]] = {}
+        histograms: Dict[str, Dict[str, dict]] = {}
+        for family in self.families():
+            if isinstance(family, HistogramFamily):
+                histograms[family.name] = {
+                    label_string(key): {
+                        "count": handle.count,
+                        "sum": handle.sum,
+                        "buckets": handle.bucket_counts(),
+                        "bounds": list(family.bounds),
+                    }
+                    for key, handle in family.series()
+                }
+            else:
+                target = counters if family.kind == "counter" else gauges
+                target[family.name] = {
+                    label_string(key): handle.value for key, handle in family.series()
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

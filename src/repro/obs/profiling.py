@@ -1,0 +1,119 @@
+"""Event-loop profiling: wall-clock attribution per handler and component.
+
+:class:`EventLoopProfiler` is the sink behind the opt-in hooks in
+``Simulator.run``/``step`` and ``CoalescedTicker``: the kernel times each
+handler invocation with ``time.perf_counter`` and calls :meth:`record`.  The
+profiler aggregates per handler key (``ClassName.method`` for bound methods)
+and optionally feeds a ``handler_wall_seconds`` histogram in a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Wall-clock values never reach ``canonical_json()`` -- the deterministic part
+of a profile is only *which* handlers ran and how often, which is exactly the
+event structure the golden fixtures already pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def handler_key(callback) -> str:
+    """A stable, address-free name for an event callback."""
+    if callback is None:
+        return "<none>"
+    bound_self = getattr(callback, "__self__", None)
+    if bound_self is not None:
+        return f"{type(bound_self).__name__}.{getattr(callback, '__name__', '<call>')}"
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is None:
+        # functools.partial and other callables without a qualname: fall back
+        # to the wrapped function, then the callable's type (never repr(),
+        # which embeds a memory address).
+        wrapped = getattr(callback, "func", None)
+        qualname = getattr(wrapped, "__qualname__", None) or type(callback).__name__
+    return qualname
+
+
+class EventLoopProfiler:
+    """Aggregates handler wall-clock samples recorded by the kernel."""
+
+    def __init__(self, registry=None) -> None:
+        # key -> [calls, total_seconds, max_seconds]
+        self._stats: Dict[str, List[float]] = {}
+        self._histograms = None
+        self._handles: Dict[str, object] = {}
+        if registry is not None:
+            self._histograms = registry.histogram(
+                "handler_wall_seconds",
+                help="Wall-clock time spent inside each event handler.",
+            )
+
+    def record(self, callback, seconds: float) -> None:
+        """Account one handler invocation (called from the event loop)."""
+        key = handler_key(callback)
+        stat = self._stats.get(key)
+        if stat is None:
+            stat = self._stats[key] = [0, 0.0, 0.0]
+        stat[0] += 1
+        stat[1] += seconds
+        if seconds > stat[2]:
+            stat[2] = seconds
+        if self._histograms is not None:
+            handle = self._handles.get(key)
+            if handle is None:
+                handle = self._handles[key] = self._histograms.labels(handler=key)
+            handle.observe(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds accounted to handlers so far."""
+        return sum(stat[1] for stat in self._stats.values())
+
+    @property
+    def total_calls(self) -> int:
+        """Handler invocations recorded so far."""
+        return sum(int(stat[0]) for stat in self._stats.values())
+
+    def summary(self, top: Optional[int] = None) -> dict:
+        """Per-handler and per-component breakdown, largest share first.
+
+        Everything in here is wall-clock derived; callers must keep it out of
+        determinism comparisons.
+        """
+        total = self.total_seconds
+        ranked = sorted(self._stats.items(), key=lambda item: (-item[1][1], item[0]))
+        if top is not None:
+            ranked = ranked[:top]
+        handlers = {
+            key: {
+                "calls": int(stat[0]),
+                "seconds": round(stat[1], 6),
+                "max_seconds": round(stat[2], 6),
+                "share": round(stat[1] / total, 4) if total > 0 else 0.0,
+            }
+            for key, stat in ranked
+        }
+        components: Dict[str, List[float]] = {}
+        for key, stat in self._stats.items():
+            component = key.split(".", 1)[0]
+            agg = components.get(component)
+            if agg is None:
+                agg = components[component] = [0, 0.0]
+            agg[0] += stat[0]
+            agg[1] += stat[1]
+        component_summary = {
+            component: {
+                "calls": int(agg[0]),
+                "seconds": round(agg[1], 6),
+                "share": round(agg[1] / total, 4) if total > 0 else 0.0,
+            }
+            for component, agg in sorted(
+                components.items(), key=lambda item: (-item[1][1], item[0])
+            )
+        }
+        return {
+            "total_seconds": round(total, 6),
+            "handler_calls": self.total_calls,
+            "handlers": handlers,
+            "components": component_summary,
+        }

@@ -1,0 +1,213 @@
+"""Span-based causal tracing of control-plane flows.
+
+A :class:`Tracer` records :class:`Span` objects stamped with *simulated* time
+(the clock is injected, normally ``lambda: sim.now``), so traces are fully
+deterministic: the same seed produces the same spans with the same ids.  A
+span belongs to a trace and may have a parent span; the ``(trace_id,
+span_id)`` pair is the *trace context* that components attach to in-flight
+:class:`~repro.network.message.Message` objects, letting causality survive
+network hops, RPC retries and batched deliveries.
+
+The export format is Chrome trace-event JSON (:meth:`Tracer.chrome_trace`):
+complete ``"X"`` events plus ``thread_name`` metadata, one track per
+component, which opens directly in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: A trace context: ``(trace_id, span_id)`` of the active span.
+TraceContext = Tuple[int, int]
+
+
+class Span:
+    """One timed operation on a component, part of a causal trace."""
+
+    __slots__ = ("name", "component", "trace_id", "span_id", "parent_id", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        component: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.component = component
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def ctx(self) -> TraceContext:
+        """The context to propagate to causally-dependent work."""
+        return (self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> float:
+        """Simulated duration (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+
+class Tracer:
+    """Deterministic span recorder with an explicit active context.
+
+    ``current`` holds the context of whatever causal chain is executing right
+    now; the network activates it around message delivery so handlers inherit
+    the sender's context without any plumbing of their own.
+    """
+
+    def __init__(self, clock: Callable[[], float], max_spans: int = 250_000) -> None:
+        self._clock = clock
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        #: The active trace context (None outside any traced chain).
+        self.current: Optional[TraceContext] = None
+        self._next_trace = 1
+        self._next_span = 1
+
+    # ------------------------------------------------------------ recording
+    def begin(
+        self,
+        name: str,
+        component: str,
+        parent: Optional[TraceContext] = None,
+        root: bool = False,
+        **attrs: object,
+    ) -> Span:
+        """Open a span; the parent defaults to the active context.
+
+        ``root=True`` forces a fresh trace even when a context is active
+        (used for top-level operations like a client submission).
+        """
+        parent_ctx = None if root else (parent if parent is not None else self.current)
+        span_id = self._next_span
+        self._next_span += 1
+        if parent_ctx is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            parent_id = None
+        else:
+            trace_id, parent_id = parent_ctx
+        span = Span(name, component, trace_id, span_id, parent_id, self._clock(), dict(attrs))
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close a span at the current simulated time (idempotent)."""
+        if span.end is None:
+            span.end = self._clock()
+
+    def end_on(self, span: Span, event) -> None:
+        """Close ``span`` when a simulation :class:`Event` completes."""
+        event.add_listener(lambda _event, _value: self.end(span))
+
+    @contextmanager
+    def span(self, name: str, component: str, **attrs: object):
+        """Open a span, activate its context for the body, close on exit."""
+        span = self.begin(name, component, **attrs)
+        previous = self.activate(span.ctx)
+        try:
+            yield span
+        finally:
+            self.restore(previous)
+            self.end(span)
+
+    def instant(self, name: str, component: str, **attrs: object) -> Span:
+        """A zero-duration marker span (election won, failure detected...)."""
+        span = self.begin(name, component, **attrs)
+        span.end = span.start
+        return span
+
+    # -------------------------------------------------------------- context
+    def activate(self, ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+        """Make ``ctx`` the active context; returns the previous one."""
+        previous = self.current
+        self.current = ctx
+        return previous
+
+    def restore(self, previous: Optional[TraceContext]) -> None:
+        """Restore a context returned by :meth:`activate`."""
+        self.current = previous
+
+    # -------------------------------------------------------------- exports
+    def summary(self) -> dict:
+        """Deterministic span accounting (counts only, no wall clock)."""
+        by_name: Dict[str, int] = {}
+        unfinished = 0
+        for span in self.spans:
+            by_name[span.name] = by_name.get(span.name, 0) + 1
+            if span.end is None:
+                unfinished += 1
+        return {
+            "spans": len(self.spans),
+            "dropped": self.dropped,
+            "unfinished": unfinished,
+            "by_name": {name: by_name[name] for name in sorted(by_name)},
+        }
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event JSON: one process, one thread per component.
+
+        Simulated seconds map to trace microseconds, so a 600 s scenario
+        renders as a 600 "µs-unit" timeline -- Perfetto only needs the unit to
+        be consistent.  Unfinished spans export with zero duration and an
+        ``unfinished`` marker.
+        """
+        components = sorted({span.component for span in self.spans})
+        tids = {component: index + 1 for index, component in enumerate(components)}
+        events: List[dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "repro-sim"},
+            }
+        ]
+        for component in components:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tids[component],
+                    "args": {"name": component},
+                }
+            )
+        spans = sorted(self.spans, key=lambda span: (span.start, span.span_id))
+        for span in spans:
+            args: Dict[str, object] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            if span.end is None:
+                args["unfinished"] = True
+            args.update(span.attrs)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": "sim",
+                    "pid": 1,
+                    "tid": tids[span.component],
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

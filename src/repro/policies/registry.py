@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Sentinel for "parameter has no default" (the parameter is required).
@@ -292,3 +293,35 @@ def iter_policy_specs(kind: Optional[str] = None) -> Iterator[PolicySpec]:
         bucket = _kind_bucket(each_kind)
         for name in sorted(bucket):
             yield bucket[name]
+
+
+#: Method names that constitute a policy's decision surface.  Every registered
+#: policy exposes its decision through one of these.
+DECISION_METHODS = ("decide", "plan", "choose")
+
+
+def instrument_policy(policy: object, observe: Callable[[str, float], None]) -> object:
+    """Time every decision call of ``policy`` with ``observe(method, seconds)``.
+
+    Wrapping is per-instance: the decision methods are shadowed by timed
+    closures on the instance, so the class and its other instances stay
+    untouched and plain attribute access (``policy.thresholds`` mutation by
+    runtime control, for example) keeps working.  The wall-clock sample is
+    reported even when the decision raises, and timing never alters the
+    decision result -- determinism is untouched by construction.
+    """
+    for method_name in DECISION_METHODS:
+        method = getattr(policy, method_name, None)
+        if not callable(method):
+            continue
+
+        def timed(*args, _method=method, _name=method_name, **kwargs):
+            begin = perf_counter()
+            try:
+                return _method(*args, **kwargs)
+            finally:
+                observe(_name, perf_counter() - begin)
+
+        timed.__name__ = method_name
+        setattr(policy, method_name, timed)
+    return policy

@@ -19,6 +19,7 @@ test suite enforces).
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 import time
@@ -30,6 +31,19 @@ from repro.scenarios.spec import ScenarioSpec, TimelineEvent
 
 #: Priority of scenario submissions relative to timeline events at equal times
 #: is resolved by scheduling order, which is deterministic (phases first).
+
+#: The canonicalization schema: every result section that may carry
+#: non-deterministic (wall-clock derived) values, mapped to the neutral value
+#: :meth:`ScenarioResult.canonical_json` substitutes for it.  Adding a new
+#: wall-clock-bearing section means adding it HERE, not patching call sites --
+#: the determinism tests iterate this schema.
+NONDETERMINISTIC_SECTIONS: Dict[str, object] = {
+    "perf": {"wall_clock_seconds": 0.0, "events_per_second": 0.0},
+    # The observability section mixes deterministic counts with wall-clock
+    # histograms/profiles; it is diagnostic output, not simulated state, so
+    # the canonical form drops it wholesale.
+    "observability": {},
+}
 
 
 @dataclass
@@ -60,6 +74,10 @@ class ScenarioResult:
     #: non-deterministic fields of a result; golden/determinism comparisons go
     #: through :meth:`canonical_json`, which zeroes them.
     perf: Dict[str, float] = field(default_factory=dict)
+    #: Observability plane rollup (metric counters, trace summary, profiler
+    #: breakdown) when any pillar is enabled.  Diagnostic output: dropped by
+    #: :meth:`canonical_json` (see :data:`NONDETERMINISTIC_SECTIONS`).
+    observability: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain-data form (includes the measured ``perf`` section)."""
@@ -72,12 +90,14 @@ class ScenarioResult:
     def canonical_json(self, indent: int = 2) -> str:
         """Deterministic JSON: identical runs are byte-identical.
 
-        The ``perf`` section is zeroed (wall-clock quantities vary run to
-        run); everything else is simulated state.  Golden fixtures and every
+        Every section named in :data:`NONDETERMINISTIC_SECTIONS` is replaced
+        by its neutral value (wall-clock quantities vary run to run);
+        everything else is simulated state.  Golden fixtures and every
         determinism assertion compare this form.
         """
         data = self.to_dict()
-        data["perf"] = {"wall_clock_seconds": 0.0, "events_per_second": 0.0}
+        for section, neutral in NONDETERMINISTIC_SECTIONS.items():
+            data[section] = copy.deepcopy(neutral)
         return json.dumps(data, sort_keys=True, indent=indent)
 
 
@@ -168,6 +188,12 @@ class ScenarioRunner:
             "wall_clock_seconds": wall,
             "events_per_second": system.sim.processed_events / wall if wall > 0 else 0.0,
         }
+        if system.obs is not None:
+            result.observability = system.obs.result_section()
+            if system.obs.profiler is not None:
+                # Replace the two-number perf view with a real breakdown:
+                # wall clock attributed per handler (top 10 by total time).
+                result.perf["handlers"] = system.obs.profiler.summary(top=10)["handlers"]
         return result
 
     def _collect(self, system: SnoozeSystem) -> ScenarioResult:

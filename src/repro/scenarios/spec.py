@@ -36,6 +36,7 @@ from repro.energy.power_manager import PowerManagerConfig
 from repro.hierarchy.config import HierarchyConfig
 from repro.hierarchy.system import SystemSpec
 from repro.network.transport import NetworkConfig
+from repro.obs import ObservabilityConfig
 from repro.policies.registry import validate_policy_selection
 from repro.policies.thresholds import UtilizationThresholds
 from repro.workloads.distributions import make_distribution
@@ -187,7 +188,8 @@ class ScenarioSpec:
     #: Random +-fraction jitter applied to node capacities (0 = exact).
     heterogeneity: float = 0.0
     #: Flat :class:`HierarchyConfig` overrides; the nested keys ``thresholds``,
-    #: ``power_manager`` and ``network`` take parameter dictionaries.
+    #: ``power_manager``, ``network`` and ``observability`` take parameter
+    #: dictionaries.
     config: Dict[str, object] = field(default_factory=dict)
     #: Declarative policy selection: ``{kind: {"name": ..., **params}}``
     #: entries for the registered policy kinds (``placement``,
@@ -262,6 +264,8 @@ class ScenarioSpec:
             kwargs["power_manager"] = PowerManagerConfig(**kwargs["power_manager"])
         if "network" in kwargs:
             kwargs["network"] = NetworkConfig(**kwargs["network"])
+        if "observability" in kwargs:
+            kwargs["observability"] = ObservabilityConfig(**kwargs["observability"])
         if self.policies:
             kwargs["policies"] = {kind: dict(entry) for kind, entry in self.policies.items()}
         kwargs["seed"] = int(seed)

@@ -36,6 +36,7 @@ teardown treats them like the timers they replace.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -89,12 +90,20 @@ class _TickGroup:
             self._pending = None
             return
         phases = max(len(member.callbacks) for member in self.members)
+        profiler = self.ticker.profiler
         for phase in range(phases):
             for member in self.members:
                 if member._running and phase < len(member.callbacks):
                     if phase == 0:
                         member.fired_count += 1
-                    member.callbacks[phase]()
+                    if profiler is None:
+                        member.callbacks[phase]()
+                    else:
+                        # Coalesced members share one kernel event; attribute
+                        # wall clock to each member callback individually.
+                        begin = perf_counter()
+                        member.callbacks[phase]()
+                        profiler.record(member.callbacks[phase], perf_counter() - begin)
         self.next_fire = self.ticker.sim.now + self.interval
         self._pending = self.ticker.sim.schedule_at(self.next_fire, self._tick)
 
@@ -112,6 +121,9 @@ class CoalescedTicker:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._groups: Dict[Tuple[float, float], _TickGroup] = {}
+        #: Optional :class:`~repro.obs.profiling.EventLoopProfiler` timing
+        #: each member callback (a group tick is one kernel event).
+        self.profiler = None
 
     @classmethod
     def shared(cls, sim: Simulator) -> "CoalescedTicker":

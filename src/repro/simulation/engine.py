@@ -21,6 +21,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Iterator, Optional
 
 
@@ -125,6 +126,10 @@ class Simulator:
         self._services: dict[str, Any] = {}
         self._running = False
         self._processed = 0
+        #: Optional :class:`~repro.obs.profiling.EventLoopProfiler`.  When set
+        #: (before the first run), every handler invocation is timed with
+        #: ``perf_counter``; when None the loop pays one predicate per event.
+        self.profiler = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -207,6 +212,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run() call)")
         self._running = True
         processed_this_run = 0
+        profiler = self.profiler  # hoisted: attach before the first run
         try:
             while self._queue:
                 event = self._queue[0]
@@ -219,7 +225,12 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self.now = event.time
-                event._fire()
+                if profiler is None:
+                    event._fire()
+                else:
+                    begin = perf_counter()
+                    event._fire()
+                    profiler.record(event.callback, perf_counter() - begin)
                 self._processed += 1
                 processed_this_run += 1
         finally:
@@ -235,7 +246,12 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
-            event._fire()
+            if self.profiler is None:
+                event._fire()
+            else:
+                begin = perf_counter()
+                event._fire()
+                self.profiler.record(event.callback, perf_counter() - begin)
             self._processed += 1
             return event
         return None

@@ -19,6 +19,7 @@ import io
 import json
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import deterministic_observability
 from repro.sweeps.spec import SweepSpec, policy_cell_label, thresholds_label
 
 #: Per-run metric columns, in CSV order.
@@ -113,6 +114,13 @@ class SweepReport:
                 "metrics": _metrics_from_result(outcome["result"]) if ok else None,
                 "resolved_policies": (
                     dict(outcome["result"].get("policies", {})) if ok else None
+                ),
+                # Observability rollup with the wall-clock keys stripped, so
+                # reports stay byte-identical across job counts.
+                "observability": (
+                    deterministic_observability(outcome["result"].get("observability") or {})
+                    if ok
+                    else None
                 ),
             }
             runs.append(row)

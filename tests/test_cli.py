@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli.main import main
+from repro.scenarios.runner import NONDETERMINISTIC_SECTIONS
 
 
 class TestScenarioRunPerfFields:
@@ -21,7 +22,7 @@ class TestScenarioRunPerfFields:
         assert perf["events_per_second"] > 0.0
 
     def test_perf_varies_but_simulated_result_does_not(self, capsys):
-        """Two CLI runs agree on everything except the measured perf section."""
+        """Two CLI runs agree on everything except the wall-clock sections."""
         payloads = []
         for _ in range(2):
             assert (
@@ -32,8 +33,9 @@ class TestScenarioRunPerfFields:
             )
             payloads.append(json.loads(capsys.readouterr().out))
         first, second = payloads
-        first.pop("perf")
-        second.pop("perf")
+        for section in NONDETERMINISTIC_SECTIONS:
+            first.pop(section)
+            second.pop(section)
         assert first == second
 
 
