@@ -689,6 +689,21 @@ def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         for key, value in getattr(result, section).items():
             table.add_row(metric=key, value=value)
         table.print()
+    if result.traffic:
+        # The traffic summary nests per-service dicts; flatten the fleet view
+        # into one table and give each service its own.
+        table = ComparisonTable("traffic")
+        table.add_row(metric="ticks", value=result.traffic["ticks"])
+        for key, value in result.traffic["requests"].items():
+            table.add_row(metric=key, value=value)
+        for key, value in result.traffic["latency_seconds"].items():
+            table.add_row(metric=f"latency_{key}_seconds", value=value)
+        table.print()
+        for name, service in sorted(result.traffic["services"].items()):
+            table = ComparisonTable(f"traffic/{name}")
+            for key, value in service.items():
+                table.add_row(metric=key, value="-" if value is None else value)
+            table.print()
     return 0
 
 

@@ -136,6 +136,52 @@ class ObservabilityPlane:
 
         registry.add_collector(mirror)
 
+    def watch_traffic(self, plane) -> None:
+        """Mirror the traffic plane's request totals and SLA quantiles lazily.
+
+        The plane accumulates analytically (fractional request mass), so the
+        export uses counters/gauges rather than per-request histogram
+        observations -- there are no per-request events to observe.
+        """
+        if self.registry is None:
+            return
+        registry = self.registry
+        offered = registry.counter(
+            "traffic_requests_offered_total", help="Requests offered to all services."
+        ).labels()
+        served = registry.counter(
+            "traffic_requests_served_total", help="Requests served within capacity."
+        ).labels()
+        dropped = registry.counter(
+            "traffic_requests_dropped_total",
+            help="Requests dropped by admission control (offered beyond capacity).",
+        ).labels()
+        p50 = registry.gauge(
+            "traffic_request_latency_p50_seconds",
+            help="Fleet p50 request latency over all served requests.",
+        ).labels()
+        p99 = registry.gauge(
+            "traffic_request_latency_p99_seconds",
+            help="Fleet p99 request latency over all served requests.",
+        ).labels()
+        replica_gauge = registry.gauge(
+            "traffic_service_replicas", help="Live replicas per service."
+        )
+
+        def mirror() -> None:
+            totals = plane.totals()
+            offered.set(totals["offered"])
+            served.set(totals["served"])
+            dropped.set(totals["dropped"])
+            p50.set(plane.fleet_quantile(0.50))
+            p99.set(plane.fleet_quantile(0.99))
+            for service in plane.services:
+                replica_gauge.labels(service=service.spec.name).set(
+                    service.live_replicas()
+                )
+
+        registry.add_collector(mirror)
+
     # ------------------------------------------------------ decision timing
     def observe_decision(self, kind: str, component: str, method: str, seconds: float) -> None:
         """Record one policy decision's wall-clock latency."""

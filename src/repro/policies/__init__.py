@@ -15,10 +15,11 @@ a pluggable policy.  This package makes that claim structural:
   (:class:`PlacementDecision`, :class:`DispatchDecision`,
   :class:`MigrationPlan`) so the hierarchy calls every policy the same way.
 * the policy kinds themselves: ``placement``, ``dispatching``,
-  ``assignment``, ``overload-relocation``, ``underload-relocation`` and
-  ``reconfiguration`` (the last bridges every :mod:`repro.core` consolidation
+  ``assignment``, ``overload-relocation``, ``underload-relocation``,
+  ``reconfiguration`` (which bridges every :mod:`repro.core` consolidation
   algorithm -- ACO, distributed ACO, FFD, BFD, WFD -- into the live
-  hierarchy).
+  hierarchy) and ``autoscaling`` (sizing the VM replica group of a
+  :mod:`repro.traffic` service from its request traffic).
 
 Selection is declarative end-to-end: ``HierarchyConfig.policies`` holds
 ``{kind: {"name": ..., **params}}`` entries, ``ScenarioSpec.policies`` carries
@@ -63,6 +64,11 @@ from repro.policies.relocation import (
     UnderloadRelocationPolicy,
 )
 from repro.policies.reconfiguration import ReconfigurationPolicy
+from repro.policies.autoscaling import (
+    LatencyThresholdAutoscaling,
+    ServiceSnapshot,
+    TargetUtilizationAutoscaling,
+)
 
 __all__ = [
     "ParamSpec",
@@ -95,4 +101,7 @@ __all__ = [
     "UnderloadRelocationPolicy",
     "RelocationDecision",
     "ReconfigurationPolicy",
+    "ServiceSnapshot",
+    "TargetUtilizationAutoscaling",
+    "LatencyThresholdAutoscaling",
 ]

@@ -1,0 +1,146 @@
+"""Autoscaling policies: size a VM replica group from its request traffic.
+
+The Snooze paper infers SLA violations from host utilization; the traffic
+plane (:mod:`repro.traffic`) measures them directly as request latency and
+drops per *service* (a replica group of identical VMs).  An autoscaling policy
+closes the loop: every autoscale tick it receives a :class:`ServiceSnapshot`
+of one service and returns the desired replica count, which the traffic plane
+then realizes through the ordinary submission/termination paths.
+
+Policies register under the ``autoscaling`` kind, so selection is declarative
+(``{"name": "target-utilization", "target": 0.6}`` inside a scenario's
+``traffic`` section) and ``repro-sim policy list|describe`` covers them like
+every other kind.  Decisions are pure functions of the snapshot -- no wall
+clock, no randomness -- which keeps traffic scenarios byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.policies.registry import register_policy
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """What one service looks like at an autoscale tick (the policy's input)."""
+
+    #: Service name (for diagnostics; decisions must not depend on it).
+    service: str
+    #: Offered request arrival rate at the tick, in requests/second.
+    arrival_rate: float
+    #: Replicas currently serving traffic (placed and active).
+    replicas: int
+    #: Replica submissions still in flight (requested but not yet placed).
+    pending: int
+    #: Per-replica service rate in requests/second at full CPU.
+    service_rate: float
+    #: Offered utilization ``arrival_rate / (replicas * service_rate)``
+    #: (clamped to [0, 1]; 1.0 when no replica is up but traffic is offered).
+    utilization: float
+    #: p99 request latency of the last traffic tick, in seconds.
+    p99_latency: float
+    #: Fraction of offered requests dropped at the last traffic tick.
+    dropped_ratio: float
+
+    @property
+    def provisioned(self) -> int:
+        """Replicas either serving or already requested."""
+        return self.replicas + self.pending
+
+
+def _clamp(value: int, low: int, high: int) -> int:
+    return max(low, min(high, value))
+
+
+@register_policy("autoscaling", "target-utilization")
+class TargetUtilizationAutoscaling:
+    """Size the group so offered per-replica utilization sits at ``target``.
+
+    The desired count is the smallest ``c`` with
+    ``arrival_rate <= c * service_rate * target`` -- the direct M/M/c sizing
+    rule.  ``scale_in_headroom`` adds hysteresis: shrinking only happens when
+    the smaller group would still sit below ``target / (1 + headroom)``, so a
+    rate hovering at a sizing boundary does not flap the group.
+    """
+
+    name = "target-utilization"
+
+    def __init__(
+        self,
+        target: float = 0.6,
+        min_replicas: int = 1,
+        max_replicas: int = 32,
+        scale_in_headroom: float = 0.25,
+    ) -> None:
+        if not (0.0 < target <= 1.0):
+            raise ValueError("target must be in (0, 1]")
+        if min_replicas < 0 or max_replicas < max(min_replicas, 1):
+            raise ValueError("require 0 <= min_replicas <= max_replicas and max >= 1")
+        if scale_in_headroom < 0:
+            raise ValueError("scale_in_headroom must be non-negative")
+        self.target = float(target)
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.scale_in_headroom = float(scale_in_headroom)
+
+    def decide(self, snapshot: ServiceSnapshot) -> int:
+        """Desired replica count for ``snapshot`` (clamped to [min, max])."""
+        if snapshot.service_rate <= 0:
+            return _clamp(snapshot.provisioned, self.min_replicas, self.max_replicas)
+        demand = snapshot.arrival_rate / snapshot.service_rate  # Erlangs offered
+        desired = int(math.ceil(demand / self.target)) if demand > 0 else 0
+        current = snapshot.provisioned
+        if desired < current:
+            # Hysteresis: only shrink to a size that stays comfortably below
+            # target even if the rate ticks back up a little.
+            conservative = int(math.ceil(demand * (1.0 + self.scale_in_headroom) / self.target))
+            desired = max(desired, conservative)
+            desired = min(desired, current)
+        return _clamp(desired, self.min_replicas, self.max_replicas)
+
+
+@register_policy("autoscaling", "latency-threshold")
+class LatencyThresholdAutoscaling:
+    """Step the group up while p99 latency or drops breach the SLA, down when idle.
+
+    A reactive rule: add ``step`` replicas whenever the observed p99 latency
+    exceeds ``p99_target`` seconds or any requests were dropped; remove one
+    replica when utilization falls below ``scale_in_utilization`` (and nothing
+    is breaching).  Between those bands the group holds steady.
+    """
+
+    name = "latency-threshold"
+
+    def __init__(
+        self,
+        p99_target: float = 0.5,
+        min_replicas: int = 1,
+        max_replicas: int = 32,
+        step: int = 1,
+        scale_in_utilization: float = 0.3,
+    ) -> None:
+        if p99_target <= 0:
+            raise ValueError("p99_target must be positive")
+        if min_replicas < 0 or max_replicas < max(min_replicas, 1):
+            raise ValueError("require 0 <= min_replicas <= max_replicas and max >= 1")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if not (0.0 <= scale_in_utilization < 1.0):
+            raise ValueError("scale_in_utilization must be in [0, 1)")
+        self.p99_target = float(p99_target)
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.step = int(step)
+        self.scale_in_utilization = float(scale_in_utilization)
+
+    def decide(self, snapshot: ServiceSnapshot) -> int:
+        """Desired replica count for ``snapshot`` (clamped to [min, max])."""
+        current = snapshot.provisioned
+        breaching = snapshot.p99_latency > self.p99_target or snapshot.dropped_ratio > 0.0
+        if breaching:
+            return _clamp(current + self.step, self.min_replicas, self.max_replicas)
+        if snapshot.utilization < self.scale_in_utilization:
+            return _clamp(current - 1, self.min_replicas, self.max_replicas)
+        return _clamp(current, self.min_replicas, self.max_replicas)

@@ -34,6 +34,15 @@ Catalog
 ``leader-crash-under-load``
     A Group Leader crash mid-churn followed by a scripted administrator
     threshold change.
+``steady-users-traffic``
+    Three fixed web replicas serving constant request traffic through the
+    analytic M/M/c latency model -- the autoscaling comparison baseline.
+``diurnal-users-autoscale``
+    A web service on a day/night demand wave with target-utilization replica
+    autoscaling growing into the peak and shrinking through the valley.
+``flash-crowd-autoscale``
+    Offered load jumps 90 -> 600 req/s mid-run; the latency-threshold
+    autoscaler races the crowd to keep p99 and drops down.
 
 Use ``repro-sim scenario list|describe|run`` from the CLI, or::
 

@@ -363,6 +363,116 @@ def _megafleet_diurnal() -> ScenarioSpec:
 
 
 @register_scenario
+def _steady_users_traffic() -> ScenarioSpec:
+    """A fixed replica group serving steady request traffic (no autoscaling)."""
+    return ScenarioSpec(
+        name="steady-users-traffic",
+        description=(
+            "Three web replicas serve a constant 240 req/s stream with the "
+            "analytic M/M/c latency model on: the SLA baseline every "
+            "autoscaling scenario is compared against."
+        ),
+        duration=1800.0,
+        local_controllers=8,
+        group_managers=2,
+        traffic={
+            "services": [
+                {
+                    "name": "web",
+                    "profile": {"kind": "constant", "level": 1.0, "peak_rps": 240.0},
+                    "initial_replicas": 3,
+                    "service_rate": 100.0,
+                }
+            ],
+            "interval": 10.0,
+        },
+    )
+
+
+@register_scenario
+def _diurnal_users_autoscale() -> ScenarioSpec:
+    """Day/night request traffic with target-utilization replica autoscaling."""
+    return ScenarioSpec(
+        name="diurnal-users-autoscale",
+        description=(
+            "A web service riding a compressed day/night demand wave: the "
+            "target-utilization autoscaler grows the replica group into the "
+            "peak and shrinks it through the valley, via the ordinary "
+            "submission and termination paths."
+        ),
+        duration=3600.0,
+        local_controllers=12,
+        group_managers=2,
+        traffic={
+            "services": [
+                {
+                    "name": "web",
+                    "profile": {
+                        "kind": "diurnal",
+                        "base": 0.15,
+                        "peak": 1.0,
+                        "period": 1800.0,
+                        "peak_time": 900.0,
+                        "peak_rps": 450.0,
+                    },
+                    "initial_replicas": 2,
+                    "service_rate": 100.0,
+                    "autoscaling": {
+                        "name": "target-utilization",
+                        "target": 0.6,
+                        "min_replicas": 2,
+                        "max_replicas": 10,
+                    },
+                }
+            ],
+            "interval": 10.0,
+            "autoscale_interval": 60.0,
+        },
+    )
+
+
+@register_scenario
+def _flash_crowd_autoscale() -> ScenarioSpec:
+    """A traffic spike against a latency-threshold autoscaler."""
+    return ScenarioSpec(
+        name="flash-crowd-autoscale",
+        description=(
+            "A front page goes viral at t=900s: offered load jumps from 90 to "
+            "600 req/s against two replicas, and the latency-threshold "
+            "autoscaler races the crowd to keep p99 and drops down."
+        ),
+        duration=2400.0,
+        local_controllers=12,
+        group_managers=2,
+        traffic={
+            "services": [
+                {
+                    "name": "frontpage",
+                    "profile": {
+                        "kind": "spike",
+                        "before": 0.15,
+                        "after": 1.0,
+                        "at": 900.0,
+                        "peak_rps": 600.0,
+                    },
+                    "initial_replicas": 2,
+                    "service_rate": 100.0,
+                    "autoscaling": {
+                        "name": "latency-threshold",
+                        "p99_target": 0.25,
+                        "min_replicas": 2,
+                        "max_replicas": 12,
+                        "step": 2,
+                    },
+                }
+            ],
+            "interval": 10.0,
+            "autoscale_interval": 30.0,
+        },
+    )
+
+
+@register_scenario
 def _leader_crash_under_load() -> ScenarioSpec:
     """Kill the Group Leader mid-churn, then tighten thresholds."""
     return ScenarioSpec(

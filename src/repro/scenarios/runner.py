@@ -28,6 +28,7 @@ from typing import Dict, Optional
 
 from repro.hierarchy.system import SnoozeSystem
 from repro.scenarios.spec import ScenarioSpec, TimelineEvent
+from repro.traffic.plane import TrafficPlane
 
 #: Priority of scenario submissions relative to timeline events at equal times
 #: is resolved by scheduling order, which is deterministic (phases first).
@@ -78,6 +79,11 @@ class ScenarioResult:
     #: breakdown) when any pillar is enabled.  Diagnostic output: dropped by
     #: :meth:`canonical_json` (see :data:`NONDETERMINISTIC_SECTIONS`).
     observability: Dict[str, object] = field(default_factory=dict)
+    #: Request-traffic summary (served/dropped counts, latency quantiles,
+    #: per-service totals and scaling activity) when the scenario declares a
+    #: ``traffic`` section.  Fully deterministic -- the queue model is
+    #: analytic -- so it is part of :meth:`canonical_json` and the goldens.
+    traffic: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain-data form (includes the measured ``perf`` section)."""
@@ -128,6 +134,7 @@ class ScenarioRunner:
             float(record_interval) if record_interval is not None else float(spec.record_interval)
         )
         self.system: Optional[SnoozeSystem] = None
+        self.traffic: Optional[TrafficPlane] = None
 
     # ----------------------------------------------------------------- wiring
     def build_system(self) -> SnoozeSystem:
@@ -178,6 +185,12 @@ class ScenarioRunner:
         system.start()
         recorder = system.enable_recording(interval=self.record_interval)
         base = system.sim.now
+        if self.spec.traffic is not None and self.spec.traffic.enabled:
+            # The plane starts at scenario time zero: initial replicas submit
+            # through the ordinary client path and ticks join the coalesced
+            # grid, so traffic behaviour is part of the deterministic run.
+            self.traffic = TrafficPlane.attach(system, self.spec.traffic)
+            self.traffic.start()
         self._schedule_phases(system, base)
         self._schedule_timeline(system, base)
         system.run(self.duration)
@@ -252,11 +265,24 @@ class ScenarioRunner:
                 "underload_events": log.count("underload_detected"),
             },
             event_counts={category: log.count(category) for category in log.categories()},
-            policies={
-                kind: str(entry["name"])
-                for kind, entry in sorted(system.config.resolved_policies().items())
-            },
+            policies=self._resolved_policy_names(system),
+            traffic=self.traffic.summary() if self.traffic is not None else {},
         )
+
+    def _resolved_policy_names(self, system: SnoozeSystem) -> Dict[str, str]:
+        """Hierarchy policy names plus the traffic autoscaling selection(s)."""
+        names = {
+            kind: str(entry["name"])
+            for kind, entry in sorted(system.config.resolved_policies().items())
+        }
+        if self.spec.traffic is not None:
+            autoscaling = self.spec.traffic.autoscaling_names()
+            if autoscaling:
+                selected = sorted(set(autoscaling.values()))
+                names["autoscaling"] = (
+                    selected[0] if len(selected) == 1 else ",".join(selected)
+                )
+        return names
 
 
 def run_scenario(

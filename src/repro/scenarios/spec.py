@@ -16,7 +16,10 @@ experiment against a Snooze deployment:
   as ``{"kind": ..., **params}`` dictionaries compiled through the factories
   in :mod:`repro.workloads`;
 * a scripted **event timeline**: component failures and recoveries, Group
-  Leader kills and administrator threshold changes at fixed simulated times.
+  Leader kills and administrator threshold changes at fixed simulated times;
+* an optional **traffic** section (:class:`~repro.traffic.spec.TrafficSpec`):
+  request-serving services with arrival-rate profiles, per-replica service
+  rates and autoscaling policies, evaluated by :mod:`repro.traffic`.
 
 Specs round-trip losslessly through :meth:`ScenarioSpec.to_dict` /
 :meth:`ScenarioSpec.from_dict` (and therefore through JSON), which is what
@@ -27,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -39,6 +42,7 @@ from repro.network.transport import NetworkConfig
 from repro.obs import ObservabilityConfig
 from repro.policies.registry import validate_policy_selection
 from repro.policies.thresholds import UtilizationThresholds
+from repro.traffic.spec import TrafficSpec
 from repro.workloads.distributions import make_distribution
 from repro.workloads.generator import WorkloadGenerator, make_arrival, make_lifetime
 from repro.workloads.traces import make_trace_factory
@@ -200,6 +204,10 @@ class ScenarioSpec:
     policies: Dict[str, Dict[str, object]] = field(default_factory=dict)
     phases: List[WorkloadPhase] = field(default_factory=list)
     timeline: List[TimelineEvent] = field(default_factory=list)
+    #: Optional request-traffic section (:class:`~repro.traffic.spec.TrafficSpec`
+    #: or its dict form): services, rate profiles and autoscaling.  ``None``
+    #: runs the scenario without a traffic plane.
+    traffic: Optional[TrafficSpec] = None
     #: Sampling interval of the time-series recorder attached to every run.
     record_interval: float = 60.0
 
@@ -234,6 +242,8 @@ class ScenarioSpec:
             )
         for kind, entry in self.policies.items():
             validate_policy_selection(kind, entry)  # unknown kind/name/params -> ValueError
+        if isinstance(self.traffic, dict):
+            self.traffic = TrafficSpec.from_dict(self.traffic)
 
     # ------------------------------------------------------------- compilation
     def cluster_spec(self) -> ClusterSpec:
@@ -297,6 +307,7 @@ class ScenarioSpec:
             "policies": {kind: dict(entry) for kind, entry in self.policies.items()},
             "phases": [phase.to_dict() for phase in self.phases],
             "timeline": [event.to_dict() for event in self.timeline],
+            "traffic": self.traffic.to_dict() if self.traffic is not None else None,
             "record_interval": self.record_interval,
         }
 
@@ -329,6 +340,11 @@ class ScenarioSpec:
             },
             phases=[WorkloadPhase.from_dict(phase) for phase in data.get("phases", [])],
             timeline=[TimelineEvent.from_dict(event) for event in data.get("timeline", [])],
+            traffic=(
+                TrafficSpec.from_dict(data["traffic"])
+                if data.get("traffic") is not None
+                else None
+            ),
             record_interval=float(data.get("record_interval", 60.0)),
         )
 

@@ -35,6 +35,9 @@ METRIC_COLUMNS = (
     "mean_latency_seconds",
     "mean_active_hosts",
     "peak_active_hosts",
+    "requests_served",
+    "requests_dropped_ratio",
+    "request_p99_latency_seconds",
     "simulated_seconds",
 )
 
@@ -48,6 +51,9 @@ def _metrics_from_result(result: Dict[str, dict]) -> Dict[str, float]:
     energy = result.get("energy", {})
     packing = result.get("packing", {})
     availability = result.get("availability", {})
+    traffic = result.get("traffic") or {}
+    requests = traffic.get("requests", {})
+    latency = traffic.get("latency_seconds", {})
     rejected = float(submissions.get("rejected", 0))
     overloads = float(availability.get("overload_events", 0))
     return {
@@ -64,6 +70,11 @@ def _metrics_from_result(result: Dict[str, dict]) -> Dict[str, float]:
         "mean_latency_seconds": float(submissions.get("mean_latency_seconds", 0.0)),
         "mean_active_hosts": float(packing.get("mean_active_hosts", 0.0)),
         "peak_active_hosts": float(packing.get("peak_active_hosts", 0.0)),
+        # Traffic-plane SLA metrics; zero for scenarios without a traffic
+        # section so the CSV schema stays rectangular across mixed sweeps.
+        "requests_served": float(requests.get("served", 0.0)),
+        "requests_dropped_ratio": float(requests.get("dropped_ratio", 0.0)),
+        "request_p99_latency_seconds": float(latency.get("p99", 0.0)),
         "simulated_seconds": float(result.get("duration", 0.0)),
     }
 

@@ -1,0 +1,49 @@
+"""Request-level traffic plane: users, SLA metrics and autoscaling.
+
+The Snooze paper manages VMs whose load is a static resource footprint, so
+"SLA" is inferred from host utilization.  This package models the *users*
+those VMs serve: per-service arrival-rate profiles composed from the
+:mod:`repro.workloads` trace vocabulary, an analytic M/M/c queueing/latency
+model evaluated per tick over all services at once (no per-request events),
+and fleet-level aggregation into served/dropped counts and latency quantiles.
+
+The demand signal feeds back both ways:
+
+* offered load drives replica-VM CPU usage, so the hierarchy's existing
+  overload/underload estimation reacts to users, not scripts;
+* ``autoscaling`` policies (:mod:`repro.policies.autoscaling`) size each
+  service's replica group from its measured traffic, executed through the
+  ordinary submission and termination paths.
+
+Declare traffic in a scenario's ``traffic`` section
+(:class:`~repro.traffic.spec.TrafficSpec`); results land in the deterministic
+``traffic`` summary of every :class:`~repro.scenarios.runner.ScenarioResult`.
+"""
+
+from repro.traffic.model import (
+    DEFAULT_LATENCY_BUCKETS,
+    STABILITY_CAP,
+    erlang_c,
+    evaluate_tick,
+    quantile_from_histogram,
+    sojourn_cdf,
+)
+from repro.traffic.plane import TRAFFIC_SERVICE, ServiceLoadTrace, TrafficPlane
+from repro.traffic.profiles import RateProfile, compile_profile
+from repro.traffic.spec import ServiceSpec, TrafficSpec
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "STABILITY_CAP",
+    "RateProfile",
+    "ServiceLoadTrace",
+    "ServiceSpec",
+    "TrafficPlane",
+    "TRAFFIC_SERVICE",
+    "TrafficSpec",
+    "compile_profile",
+    "erlang_c",
+    "evaluate_tick",
+    "quantile_from_histogram",
+    "sojourn_cdf",
+]

@@ -1,0 +1,222 @@
+"""Analytic M/M/c queueing evaluated per tick, vectorized over services.
+
+No per-request events exist anywhere in the simulator: each traffic tick
+evaluates every service's queue *analytically* from three arrays -- offered
+arrival rate ``lam``, per-replica service rate ``mu`` and replica count ``c``
+-- and distributes the tick's served-request mass over a fixed latency
+histogram.  The math is the classic M/M/c steady-state pipeline:
+
+1. Erlang-B via the numerically stable recurrence
+   ``B(0) = 1;  B(k) = A * B(k-1) / (k + A * B(k-1))`` with offered load
+   ``A = lam / mu`` Erlangs;
+2. Erlang-C waiting probability ``Pw = B(c) / (1 - rho + rho * B(c))`` with
+   ``rho = A / c``;
+3. the sojourn time ``T = S + W`` where ``S ~ Exp(mu)`` and ``W`` is
+   ``Exp(c*mu - lam)`` with probability ``Pw`` (zero otherwise), whose CDF is
+   closed-form, so each tick's served requests land in latency buckets with
+   exact analytic mass -- deterministic by construction.
+
+Saturation is handled by admission: arrivals beyond ``STABILITY_CAP`` of the
+group capacity ``c * mu`` are *dropped* (the queue would be unstable), and the
+latency of the admitted traffic is evaluated at the capped rate.  A service
+with zero replicas drops everything.  All functions are pure numpy over
+aligned service arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Admitted load never exceeds this fraction of group capacity ``c * mu``:
+#: beyond it the M/M/c queue is (numerically and factually) unstable, so the
+#: excess arrival rate counts as dropped requests.
+STABILITY_CAP = 0.98
+
+#: Upper bounds (seconds) of the request-latency histogram; an implicit
+#: +inf bucket catches the tail.  Log-spaced around typical per-request
+#: service times (milliseconds to seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def erlang_c(load: np.ndarray, servers: np.ndarray) -> np.ndarray:
+    """Erlang-C waiting probability for offered ``load`` Erlangs on ``servers``.
+
+    Vectorized over aligned arrays; entries with zero servers or zero load
+    return 0.  ``load`` must already be admission-capped below ``servers``.
+    """
+    load = np.asarray(load, dtype=float)
+    servers = np.asarray(servers, dtype=int)
+    blocking = np.ones_like(load)  # Erlang-B at k = 0
+    max_servers = int(servers.max()) if servers.size else 0
+    for k in range(1, max_servers + 1):
+        update = load * blocking / (k + load * blocking)
+        blocking = np.where(servers >= k, update, blocking)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho = np.where(servers > 0, load / np.maximum(servers, 1), 0.0)
+        wait_probability = blocking / (1.0 - rho + rho * blocking)
+    wait_probability = np.where((servers > 0) & (load > 0), wait_probability, 0.0)
+    return np.clip(wait_probability, 0.0, 1.0)
+
+
+def sojourn_cdf(
+    t: np.ndarray, mu: np.ndarray, drain: np.ndarray, wait_probability: np.ndarray
+) -> np.ndarray:
+    """CDF of the sojourn time ``T = S + W`` at times ``t`` (broadcast-ready).
+
+    ``S ~ Exp(mu)`` is the service time; ``W`` is ``Exp(drain)`` (the queue
+    drain rate ``c * mu - lam``) with probability ``wait_probability`` and
+    zero otherwise.  The conditional sum ``S + Exp(drain)`` is
+    hypoexponential; the near-equal-rates limit is the Erlang-2 CDF.
+    """
+    t = np.asarray(t, dtype=float)
+    service_cdf = 1.0 - np.exp(-mu * t)
+    delta = drain - mu
+    close = np.abs(delta) < 1e-9 * np.maximum(mu, 1e-12)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        hypo = 1.0 - (drain * np.exp(-mu * t) - mu * np.exp(-drain * t)) / np.where(
+            close, 1.0, delta
+        )
+    erlang2 = 1.0 - (1.0 + mu * t) * np.exp(-mu * t)
+    waited_cdf = np.where(close, erlang2, hypo)
+    return np.clip(
+        (1.0 - wait_probability) * service_cdf + wait_probability * waited_cdf, 0.0, 1.0
+    )
+
+
+def evaluate_tick(
+    lam: np.ndarray,
+    mu: np.ndarray,
+    servers: np.ndarray,
+    dt: float,
+    bucket_bounds: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Evaluate one traffic tick analytically for every service at once.
+
+    Returns aligned arrays: ``offered`` / ``served`` / ``dropped`` request
+    counts for the tick, the offered ``utilization`` (clamped to [0, 1]),
+    ``mean_latency`` and per-service ``p99`` seconds of the admitted traffic,
+    and ``bucket_mass`` of shape ``(services, buckets + 1)`` distributing each
+    service's served requests over the latency histogram (last column is the
+    +inf tail bucket).
+    """
+    lam = np.asarray(lam, dtype=float)
+    mu = np.asarray(mu, dtype=float)
+    servers = np.asarray(servers, dtype=int)
+    n = lam.shape[0]
+    bounds = np.asarray(bucket_bounds, dtype=float)
+
+    capacity = servers * mu
+    admitted = np.minimum(lam, STABILITY_CAP * capacity)
+    admitted = np.where((servers > 0) & (mu > 0), admitted, 0.0)
+    offered = lam * dt
+    served = admitted * dt
+    dropped = offered - served
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        utilization = np.where(capacity > 0, lam / capacity, np.where(lam > 0, 1.0, 0.0))
+    utilization = np.clip(utilization, 0.0, 1.0)
+
+    load = np.where(mu > 0, admitted / np.maximum(mu, 1e-300), 0.0)
+    wait_probability = erlang_c(load, servers)
+    drain = np.maximum(capacity - admitted, 1e-12)
+
+    safe_mu = np.maximum(mu, 1e-12)
+    mean_latency = np.where(
+        admitted > 0, 1.0 / safe_mu + wait_probability / drain, 0.0
+    )
+
+    # Served-mass histogram: per-service CDF at every bucket bound, differenced
+    # into per-bucket probability, times the tick's served requests.
+    cdf = sojourn_cdf(
+        bounds[np.newaxis, :],
+        safe_mu[:, np.newaxis],
+        drain[:, np.newaxis],
+        wait_probability[:, np.newaxis],
+    )
+    cdf = np.where((admitted > 0)[:, np.newaxis], cdf, 0.0)
+    full = np.concatenate([np.zeros((n, 1)), cdf, np.ones((n, 1))], axis=1)
+    full[admitted <= 0, -1] = 0.0
+    probability = np.diff(full, axis=1)
+    bucket_mass = probability * served[:, np.newaxis]
+
+    p99 = quantile_from_cdf(bounds, cdf, 0.99)
+    p99 = np.where(admitted > 0, p99, 0.0)
+
+    return {
+        "offered": offered,
+        "served": served,
+        "dropped": dropped,
+        "utilization": utilization,
+        "wait_probability": wait_probability,
+        "mean_latency": mean_latency,
+        "p99": p99,
+        "bucket_mass": bucket_mass,
+    }
+
+
+def quantile_from_cdf(bounds: np.ndarray, cdf: np.ndarray, q: float) -> np.ndarray:
+    """Per-service ``q``-quantile from CDF values at the bucket ``bounds``.
+
+    Linear interpolation between bound points; a quantile beyond the last
+    finite bound reports that bound (the histogram cannot resolve further).
+    """
+    bounds = np.asarray(bounds, dtype=float)
+    cdf = np.asarray(cdf, dtype=float)
+    n = cdf.shape[0]
+    result = np.empty(n)
+    for i in range(n):
+        row = cdf[i]
+        j = int(np.searchsorted(row, q, side="left"))
+        if j >= row.shape[0]:
+            result[i] = bounds[-1]
+            continue
+        upper_c = row[j]
+        lower_c = row[j - 1] if j > 0 else 0.0
+        upper_t = bounds[j]
+        lower_t = bounds[j - 1] if j > 0 else 0.0
+        span = upper_c - lower_c
+        if span <= 0:
+            result[i] = upper_t
+        else:
+            result[i] = lower_t + (upper_t - lower_t) * (q - lower_c) / span
+    return result
+
+
+def quantile_from_histogram(bounds: np.ndarray, mass: np.ndarray, q: float) -> float:
+    """``q``-quantile of an accumulated latency histogram (one service or fleet).
+
+    ``mass`` has ``len(bounds) + 1`` entries (the last is the +inf tail);
+    the quantile interpolates linearly inside its bucket, and a quantile
+    landing in the tail reports the last finite bound.
+    """
+    mass = np.asarray(mass, dtype=float)
+    total = mass.sum()
+    if total <= 0:
+        return 0.0
+    cumulative = np.cumsum(mass) / total
+    j = int(np.searchsorted(cumulative, q, side="left"))
+    bounds = np.asarray(bounds, dtype=float)
+    if j >= bounds.shape[0]:
+        return float(bounds[-1])
+    lower_c = cumulative[j - 1] if j > 0 else 0.0
+    lower_t = bounds[j - 1] if j > 0 else 0.0
+    span = cumulative[j] - lower_c
+    if span <= 0:
+        return float(bounds[j])
+    return float(lower_t + (bounds[j] - lower_t) * (q - lower_c) / span)

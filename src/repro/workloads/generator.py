@@ -94,17 +94,37 @@ class UniformArrival(ArrivalProcess):
         return np.sort(self.start + rng.uniform(0.0, self.window, size=count))
 
 
+#: Registered arrival processes, mirroring the policy registry: factories live
+#: in a module-level table, lookups are case-insensitive, and unknown kinds
+#: raise with the registered alternatives listed.
+_ARRIVAL_REGISTRY: dict = {
+    "batch": BatchArrival,
+    "poisson": PoissonArrival,
+    "uniform": UniformArrival,
+}
+
+
+def register_arrival(kind: str, factory) -> None:
+    """Register an arrival-process factory under ``kind`` (duplicate kinds are errors)."""
+    key = str(kind).lower()
+    if key in _ARRIVAL_REGISTRY:
+        raise ValueError(f"arrival kind {key!r} already registered")
+    _ARRIVAL_REGISTRY[key] = factory
+
+
+def arrival_kinds() -> List[str]:
+    """Sorted names of every registered arrival process."""
+    return sorted(_ARRIVAL_REGISTRY)
+
+
 def make_arrival(kind: str, **kwargs) -> ArrivalProcess:
     """Factory used by the scenario engine (``batch``, ``poisson``, ``uniform``)."""
-    registry = {
-        "batch": BatchArrival,
-        "poisson": PoissonArrival,
-        "uniform": UniformArrival,
-    }
     try:
-        cls = registry[kind.lower()]
+        cls = _ARRIVAL_REGISTRY[kind.lower()]
     except KeyError as exc:
-        raise ValueError(f"unknown arrival process {kind!r}; choose from {sorted(registry)}") from exc
+        raise ValueError(
+            f"unknown arrival process kind {kind!r}; available: {', '.join(arrival_kinds())}"
+        ) from exc
     return cls(**kwargs)
 
 
@@ -178,18 +198,36 @@ class UniformLifetime(LifetimeDistribution):
         return [float(draw) for draw in rng.uniform(self.low, self.high, size=count)]
 
 
+#: Registered lifetime distributions (same registry ergonomics as arrivals).
+_LIFETIME_REGISTRY: dict = {
+    "infinite": InfiniteLifetime,
+    "fixed": FixedLifetime,
+    "exponential": ExponentialLifetime,
+    "uniform": UniformLifetime,
+}
+
+
+def register_lifetime(kind: str, factory) -> None:
+    """Register a lifetime-distribution factory under ``kind`` (duplicates are errors)."""
+    key = str(kind).lower()
+    if key in _LIFETIME_REGISTRY:
+        raise ValueError(f"lifetime kind {key!r} already registered")
+    _LIFETIME_REGISTRY[key] = factory
+
+
+def lifetime_kinds() -> List[str]:
+    """Sorted names of every registered lifetime distribution."""
+    return sorted(_LIFETIME_REGISTRY)
+
+
 def make_lifetime(kind: str, **kwargs) -> LifetimeDistribution:
     """Factory used by the scenario engine (``infinite``, ``fixed``, ``exponential``, ``uniform``)."""
-    registry = {
-        "infinite": InfiniteLifetime,
-        "fixed": FixedLifetime,
-        "exponential": ExponentialLifetime,
-        "uniform": UniformLifetime,
-    }
     try:
-        cls = registry[kind.lower()]
+        cls = _LIFETIME_REGISTRY[kind.lower()]
     except KeyError as exc:
-        raise ValueError(f"unknown lifetime distribution {kind!r}; choose from {sorted(registry)}") from exc
+        raise ValueError(
+            f"unknown lifetime distribution kind {kind!r}; available: {', '.join(lifetime_kinds())}"
+        ) from exc
     return cls(**kwargs)
 
 

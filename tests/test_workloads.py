@@ -253,6 +253,130 @@ class TestLifetimeDistributions:
             make_arrival("teleport")
 
 
+class TestFactoryRegistries:
+    """Registry-backed ``make_arrival``/``make_lifetime`` error ergonomics."""
+
+    def test_unknown_arrival_lists_available_kinds(self):
+        from repro.workloads import arrival_kinds
+
+        with pytest.raises(ValueError) as excinfo:
+            make_arrival("teleport")
+        message = str(excinfo.value)
+        assert "available:" in message
+        for kind in arrival_kinds():
+            assert kind in message
+
+    def test_unknown_lifetime_lists_available_kinds(self):
+        from repro.workloads import lifetime_kinds
+
+        with pytest.raises(ValueError) as excinfo:
+            make_lifetime("immortal-ish")
+        message = str(excinfo.value)
+        assert "available:" in message
+        for kind in lifetime_kinds():
+            assert kind in message
+
+    def test_registered_kinds_are_sorted_and_complete(self):
+        from repro.workloads import arrival_kinds, lifetime_kinds
+
+        assert arrival_kinds() == sorted(arrival_kinds())
+        assert {"batch", "poisson", "uniform"} <= set(arrival_kinds())
+        assert lifetime_kinds() == sorted(lifetime_kinds())
+        assert {"infinite", "fixed", "exponential", "uniform"} <= set(lifetime_kinds())
+
+    def test_register_arrival_extends_factory(self):
+        from repro.workloads import arrival_kinds, register_arrival
+        from repro.workloads.generator import _ARRIVAL_REGISTRY
+
+        class _EveryMinute(BatchArrival):
+            pass
+
+        register_arrival("every-minute", lambda **kw: _EveryMinute(**kw))
+        try:
+            assert "every-minute" in arrival_kinds()
+            assert isinstance(make_arrival("every-minute", at=3.0), _EveryMinute)
+            with pytest.raises(ValueError, match="already registered"):
+                register_arrival("every-minute", lambda **kw: _EveryMinute(**kw))
+        finally:
+            _ARRIVAL_REGISTRY.pop("every-minute")
+
+    def test_register_lifetime_extends_factory(self):
+        from repro.workloads import lifetime_kinds, register_lifetime
+        from repro.workloads.generator import _LIFETIME_REGISTRY
+
+        register_lifetime("blink", lambda **kw: FixedLifetime(seconds=0.001))
+        try:
+            assert "blink" in lifetime_kinds()
+            assert isinstance(make_lifetime("blink"), FixedLifetime)
+        finally:
+            _LIFETIME_REGISTRY.pop("blink")
+
+
+class TestWorkloadEdgeCases:
+    """Boundary behaviour: empty batches, single events, seeded determinism."""
+
+    @pytest.mark.parametrize("kind", ["batch", "poisson", "uniform"])
+    def test_zero_count_yields_no_arrivals(self, kind, rng):
+        times = make_arrival(kind).arrival_times(0, rng)
+        assert times.shape == (0,)
+        generator = WorkloadGenerator(arrival_process=make_arrival(kind))
+        assert generator.generate(0, rng) == []
+
+    @pytest.mark.parametrize("kind", ["batch", "poisson", "uniform"])
+    def test_single_event_arrival(self, kind, rng):
+        times = make_arrival(kind).arrival_times(1, rng)
+        assert times.shape == (1,)
+        assert times[0] >= 0.0
+
+    def test_poisson_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrival(rate_per_hour=0.0)
+
+    def test_exponential_lifetime_deterministic_under_seed_sequences(self):
+        from repro.simulation.randomness import spawn_generator
+
+        lifetime = ExponentialLifetime(mean=600.0, minimum=30.0)
+        first = lifetime.sample(8, spawn_generator(99, index=4))
+        second = lifetime.sample(8, spawn_generator(99, index=4))
+        np.testing.assert_array_equal(first, second)
+        other = lifetime.sample(8, spawn_generator(99, index=5))
+        assert not np.array_equal(first, other)
+        assert all(value >= 30.0 for value in first)
+
+    @pytest.mark.parametrize(
+        "arrival",
+        [
+            {"kind": "batch", "at": 5.0},
+            {"kind": "poisson", "rate_per_hour": 120.0, "start": 10.0},
+            {"kind": "uniform", "start": 0.0, "window": 60.0},
+        ],
+    )
+    @pytest.mark.parametrize(
+        "lifetime",
+        [
+            None,
+            {"kind": "infinite"},
+            {"kind": "fixed", "seconds": 300.0},
+            {"kind": "exponential", "mean": 600.0, "minimum": 30.0},
+            {"kind": "uniform", "low": 100.0, "high": 200.0},
+        ],
+    )
+    def test_every_kind_round_trips_through_scenario_spec(self, arrival, lifetime):
+        from repro.scenarios import ScenarioSpec, WorkloadPhase
+
+        phase = WorkloadPhase(name="p", vm_count=3, arrival=dict(arrival))
+        if lifetime is not None:
+            phase = WorkloadPhase(
+                name="p", vm_count=3, arrival=dict(arrival), lifetime=dict(lifetime)
+            )
+        spec = ScenarioSpec(name="round-trip", duration=100.0, phases=[phase])
+        import json
+
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        restored.phases[0].build_generator()  # kinds resolve after the trip
+
+
 class TestConsolidationInstance:
     def test_shapes_and_feasibility(self, rng):
         demands, capacities = consolidation_instance(30, rng, host_capacity=(1.0, 1.0))
