@@ -27,6 +27,7 @@ from repro.core.base import (
     validate_instance,
 )
 from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.aco_vectorized import PheromoneSummary, VectorizedACOConsolidation
 from repro.core.distributed_aco import DistributedACOConsolidation
 from repro.core.ffd import (
     BestFitDecreasing,
@@ -47,6 +48,8 @@ __all__ = [
     "validate_instance",
     "ACOConsolidation",
     "ACOParameters",
+    "PheromoneSummary",
+    "VectorizedACOConsolidation",
     "DistributedACOConsolidation",
     "FirstFit",
     "FirstFitDecreasing",

@@ -180,6 +180,7 @@ class ACOConsolidation(ConsolidationAlgorithm):
                 "lower_bound": bound,
                 "best_quality": float(best_quality),
                 "pheromone_mean": float(pheromone.mean()),
+                "pheromone_min": float(pheromone.min()),
                 "pheromone_max": float(pheromone.max()),
                 "cycles_without_improvement": cycles_without_improvement,
             },
@@ -294,9 +295,15 @@ class ACOConsolidation(ConsolidationAlgorithm):
         if best_assignment is not None:
             hosts_used = int(np.unique(best_assignment[best_assignment >= 0]).size)
             if hosts_used > 0:
-                # Deposit proportional to solution quality and inversely to hosts used,
-                # so better (fewer hosts, fuller) solutions leave stronger trails.
-                delta = params.rho * (1.0 + max(best_quality, 0.0)) / hosts_used * demands.shape[0]
+                # Deposit proportional to solution quality so better (fuller)
+                # solutions leave stronger trails.  The deposit is independent
+                # of instance size: quality is already a per-host mean in
+                # [0, 1], so the evaporation/deposit equilibrium
+                # ``delta / rho = 1 + quality`` stays strictly below
+                # ``tau_max`` instead of clipping every reinforced pair to the
+                # ceiling on large instances (which degenerated the Max-Min
+                # search into a frozen trail).
+                delta = params.rho * (1.0 + max(best_quality, 0.0))
                 vm_indices = np.arange(best_assignment.shape[0])
                 pheromone[vm_indices, best_assignment] += delta
         np.clip(pheromone, params.tau_min, params.tau_max, out=pheromone)

@@ -1,0 +1,456 @@
+"""Vectorized ACO consolidation: batched ant kernels, parallel colonies, warm start.
+
+The scalar :class:`~repro.core.aco.ACOConsolidation` builds one solution per
+ant with a pure-Python loop calling ``_choose_vm`` once per VM -- ``n_ants *
+n_vms`` interpreter round-trips per cycle.  At warehouse scale (ROADMAP item 5)
+that loop dominates every reconfiguration cycle.  This module keeps the
+algorithm (same pheromone matrix, decision rule, heuristic, Max-Min bounds,
+evaporation/reinforcement) but restructures the construction so the Python
+overhead is paid once per *step*, not once per *ant and step*:
+
+* **Batched ant kernels** -- all ants of a cycle advance in lockstep.  Each
+  step computes the feasibility mask, heuristic values and decision-rule
+  scores as one ``(n_ants, n_vms)`` numpy expression over the pheromone matrix
+  and every ant's residual capacity, then samples one VM per ant (greedy and
+  roulette choices in the same batch).  A cycle costs ``~n_vms`` vectorized
+  steps instead of ``n_ants * n_vms`` scalar choices.
+* **Parallel colonies** -- independent colonies (each a full cycle loop over
+  its own pheromone matrix) run across cores by reusing the sweeps
+  :class:`~repro.sweeps.executor.MultiprocessExecutor` with per-colony seeds
+  derived via the :mod:`repro.simulation.randomness` ``SeedSequence``
+  discipline.  Results are byte-identical for any ``jobs`` count: seeds are
+  derived before the fan-out and the best colony is picked by a deterministic
+  ``(hosts, -quality, colony)`` key.
+* **Warm start** -- an optional initial pheromone matrix (usually distilled
+  from the previous reconfiguration plan via :class:`PheromoneSummary`) seeds
+  the search at the incumbent placement instead of a uniform trail, so
+  per-cycle re-optimization converges in a fraction of the cycles.
+
+The benchmark ``benchmarks/test_bench_aco_scale.py`` pins the speedup
+(decisions/sec vs the scalar reference at 100/500/2000 VMs, hosts-used no
+worse) in ``BENCH_ACO_SCALE.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.base import (
+    ConsolidationResult,
+    lower_bound_hosts,
+    validate_instance,
+)
+from repro.core.placement import Placement, PlacementError
+from repro.simulation.randomness import spawn_seed_sequences
+
+#: Feasibility tolerance shared with the scalar algorithm.
+FIT_TOLERANCE = 1e-9
+
+
+@dataclass
+class PheromoneSummary:
+    """A size-independent distillation of one consolidation plan.
+
+    Maps VM ids to the host ids the last accepted plan assigned them to.  The
+    summary is what :class:`~repro.policies.reconfiguration.ReconfigurationPolicy`
+    persists between reconfiguration rounds: VM and host *ids* survive churn
+    (matrix indices do not), so the next round can rebuild an initial pheromone
+    matrix for whatever subset of VMs and hosts is still present.
+    """
+
+    #: ``vm_id -> host_id`` pairs of the plan being summarized (vm ids may be
+    #: any hashable -- the live cluster uses integers, offline instances use
+    #: row indices).
+    pairs: Dict[object, str] = field(default_factory=dict)
+    #: Warm-start intensity in [0, 1]: 0 keeps ``tau_initial`` everywhere,
+    #: 1 seeds remembered pairs at ``tau_max``.
+    strength: float = 0.6
+
+    def matrix(
+        self,
+        vm_ids: Sequence[str],
+        host_ids: Sequence[str],
+        parameters: ACOParameters,
+    ) -> Optional[np.ndarray]:
+        """Initial pheromone matrix for the instance ``vm_ids x host_ids``.
+
+        Returns ``None`` when no remembered pair survives in the instance (a
+        cold start performs better than an all-uniform "warm" matrix copy).
+        """
+        if not self.pairs or not vm_ids or not host_ids:
+            return None
+        host_index = {host_id: column for column, host_id in enumerate(host_ids)}
+        boosted = parameters.tau_initial + float(np.clip(self.strength, 0.0, 1.0)) * (
+            parameters.tau_max - parameters.tau_initial
+        )
+        matrix = np.full((len(vm_ids), len(host_ids)), parameters.tau_initial, dtype=float)
+        hits = 0
+        for row, vm_id in enumerate(vm_ids):
+            host_id = self.pairs.get(vm_id)
+            column = host_index.get(host_id) if host_id is not None else None
+            if column is not None:
+                matrix[row, column] = boosted
+                hits += 1
+        return matrix if hits else None
+
+
+def _colony_payload(
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    parameters: ACOParameters,
+    seed: np.random.SeedSequence,
+    colony: int,
+    initial_pheromone: Optional[np.ndarray],
+) -> Dict[str, object]:
+    """Picklable description of one colony run (plain arrays + parameter dict)."""
+    return {
+        "demands": demands,
+        "capacities": capacities,
+        "parameters": asdict(parameters),
+        "seed_entropy": seed.entropy,
+        "seed_spawn_key": tuple(seed.spawn_key),
+        "colony": colony,
+        "initial_pheromone": initial_pheromone,
+    }
+
+
+def solve_colony(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one colony; module-level so the multiprocessing pool can pickle it."""
+    parameters = ACOParameters(**payload["parameters"])
+    seed = np.random.SeedSequence(
+        entropy=payload["seed_entropy"], spawn_key=tuple(payload["seed_spawn_key"])
+    )
+    colony = _VectorizedColony(
+        demands=np.asarray(payload["demands"], dtype=float),
+        capacities=np.asarray(payload["capacities"], dtype=float),
+        parameters=parameters,
+        rng=np.random.default_rng(seed),
+        initial_pheromone=payload.get("initial_pheromone"),
+    )
+    outcome = colony.run()
+    outcome["colony"] = payload["colony"]
+    return outcome
+
+
+class _VectorizedColony:
+    """One colony's cycle loop over its own pheromone matrix, ants batched."""
+
+    def __init__(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        parameters: ACOParameters,
+        rng: np.random.Generator,
+        initial_pheromone: Optional[np.ndarray] = None,
+    ) -> None:
+        self.demands = demands
+        self.capacities = capacities
+        self.params = parameters
+        self.rng = rng
+        n_vms, n_hosts = demands.shape[0], capacities.shape[0]
+        if initial_pheromone is not None:
+            pheromone = np.asarray(initial_pheromone, dtype=float)
+            if pheromone.shape != (n_vms, n_hosts):
+                raise PlacementError(
+                    f"initial pheromone shape {pheromone.shape} does not match "
+                    f"instance ({n_vms}, {n_hosts})"
+                )
+            self.pheromone = np.clip(pheromone, parameters.tau_min, parameters.tau_max)
+        else:
+            self.pheromone = np.full((n_vms, n_hosts), parameters.tau_initial, dtype=float)
+        #: Per-host heuristic normalizer (sum of that host's capacity vector).
+        self.normalizers = np.maximum(capacities.sum(axis=1), FIT_TOLERANCE)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> Dict[str, object]:
+        params = self.params
+        bound = lower_bound_hosts(self.demands, self.capacities)
+
+        # Deterministic greedy anchor: one all-exploitation ant built from the
+        # initial trail.  It bounds the colony's result from below (the search
+        # can only improve on it) and, warm-started, reproduces the incumbent
+        # plan's packing before any stochastic cycle runs.
+        best_assignment = self._construct(n_ants=1, greedy=True)[0]
+        best_hosts, best_quality = self._evaluate(best_assignment)
+
+        history: List[int] = []
+        cycles_run = 0
+        cycles_without_improvement = 0
+        stagnated = params.stop_at_lower_bound and best_hosts <= bound
+        for cycle in range(params.n_cycles):
+            if stagnated:
+                break
+            cycles_run = cycle + 1
+            assignments = self._construct(params.n_ants, greedy=False)
+            improved = False
+            for assignment in assignments:
+                hosts_used, quality = self._evaluate(assignment)
+                if hosts_used < best_hosts or (
+                    hosts_used == best_hosts and quality > best_quality
+                ):
+                    best_assignment = assignment
+                    best_hosts = hosts_used
+                    best_quality = quality
+                    improved = True
+            cycles_without_improvement = 0 if improved else cycles_without_improvement + 1
+            history.append(int(best_hosts))
+            self._update_pheromone(best_assignment, best_quality)
+            if params.stop_at_lower_bound and best_hosts <= bound:
+                break
+            if (
+                params.stagnation_cycles is not None
+                and cycles_without_improvement >= params.stagnation_cycles
+            ):
+                break
+
+        return {
+            "assignment": best_assignment,
+            "hosts_used": int(best_hosts),
+            "quality": float(best_quality),
+            "cycles": cycles_run,
+            "history": history,
+            "lower_bound": bound,
+            "cycles_without_improvement": cycles_without_improvement,
+            "pheromone_mean": float(self.pheromone.mean()),
+            "pheromone_min": float(self.pheromone.min()),
+            "pheromone_max": float(self.pheromone.max()),
+        }
+
+    # ------------------------------------------------------------ construction
+    def _construct(self, n_ants: int, greedy: bool) -> np.ndarray:
+        """Build ``n_ants`` complete assignments in lockstep; ``(n_ants, n_vms)``.
+
+        Every ant places exactly one VM per iteration, so after ``n_vms``
+        iterations every ant's solution is complete -- the Python overhead of
+        a step is paid once for the whole batch instead of once per ant.  The
+        feasibility masks, heuristic values and decision-rule scores for all
+        ants are single 2-D numpy expressions, and both the greedy and the
+        roulette choices are drawn in one batch.  Ants whose current host fits
+        no remaining VM advance to their next host inside the same iteration.
+
+        Two identities keep the per-step expressions small:
+
+        * feasibility is checked per dimension with 2-D comparisons (no
+          ``(ants, vms, dims)`` temporary, no axis-2 reduction), and
+        * on every *feasible* pair the L1 fill gap collapses to
+          ``sum(residual) - sum(demand)`` (no per-dimension ``abs``), and
+          infeasible pairs are masked out of the scores anyway.
+        """
+        params = self.params
+        demands, capacities = self.demands, self.capacities
+        n_vms, n_hosts = demands.shape[0], capacities.shape[0]
+        n_dims = demands.shape[1]
+        ants = np.arange(n_ants)
+        assignment = np.full((n_ants, n_vms), -1, dtype=np.int64)
+        unassigned = np.ones((n_ants, n_vms), dtype=bool)
+        host = np.zeros(n_ants, dtype=np.int64)
+        residual = np.repeat(capacities[[0]], n_ants, axis=0)
+        residual_sums = residual.sum(axis=1)
+        # Row-contiguous per-host pheromone rows for the gather below.
+        tau_by_host = np.ascontiguousarray(self.pheromone.T)
+        demand_sums = demands.sum(axis=1)
+        alpha, beta, q0 = params.alpha, params.beta, params.q0
+
+        for _ in range(n_vms):
+            # (n_ants, n_vms): VM is unplaced and fits the ant's current host.
+            fits = unassigned.copy()
+            for dim in range(n_dims):
+                fits &= (
+                    demands[:, dim][np.newaxis, :]
+                    <= residual[:, dim][:, np.newaxis] + FIT_TOLERANCE
+                )
+            feasible_any = fits.any(axis=1)
+            # Ants stuck on a full host open their next host (repeat until
+            # every ant has a candidate; guaranteed to terminate because
+            # every VM fits an *empty* host by instance validation).
+            while not feasible_any.all():
+                stuck = ~feasible_any
+                host[stuck] += 1
+                if np.any(host >= n_hosts):
+                    raise PlacementError(
+                        "instance has too few hosts for the remaining VMs (ACO construction)"
+                    )
+                residual[stuck] = capacities[host[stuck]]
+                residual_sums[stuck] = residual[stuck].sum(axis=1)
+                refit = unassigned[stuck].copy()
+                for dim in range(n_dims):
+                    refit &= (
+                        demands[:, dim][np.newaxis, :]
+                        <= residual[stuck][:, dim][:, np.newaxis] + FIT_TOLERANCE
+                    )
+                fits[stuck] = refit
+                feasible_any = fits.any(axis=1)
+
+            # Decision rule over the batch: tau^alpha * eta^beta, masked to
+            # the feasible candidates of each ant.
+            tau = tau_by_host[host]
+            gaps = residual_sums[:, np.newaxis] - demand_sums[np.newaxis, :]
+            np.maximum(gaps, 0.0, out=gaps)
+            gaps /= self.normalizers[host][:, np.newaxis]
+            gaps += 1.0
+            eta = np.reciprocal(gaps, out=gaps)
+            if beta == 2.0:
+                eta *= eta
+            elif beta != 1.0:
+                np.power(eta, beta, out=eta)
+            scores = tau * eta if alpha == 1.0 else np.power(tau, alpha) * eta
+            scores *= fits
+            totals = scores.sum(axis=1)
+            # Numerical-underflow guard: fall back to uniform over feasible.
+            if not totals.all():
+                degenerate = totals <= 0.0
+                scores[degenerate] = fits[degenerate]
+                totals = scores.sum(axis=1)
+
+            if greedy:
+                chosen = np.argmax(scores, axis=1)
+            else:
+                exploit = self.rng.random(n_ants) < q0
+                best_pick = np.argmax(scores, axis=1)
+                cdf = np.cumsum(scores, axis=1)
+                draws = self.rng.random(n_ants) * totals
+                roulette = np.minimum(
+                    (cdf <= draws[:, np.newaxis]).sum(axis=1), n_vms - 1
+                )
+                chosen = np.where(exploit, best_pick, roulette)
+
+            assignment[ants, chosen] = host
+            unassigned[ants, chosen] = False
+            residual -= demands[chosen]
+            residual_sums -= demand_sums[chosen]
+        return assignment
+
+    # -------------------------------------------------------------- evaluation
+    def _evaluate(self, assignment: np.ndarray) -> tuple:
+        loads = np.zeros_like(self.capacities)
+        np.add.at(loads, assignment, self.demands)
+        used_mask = loads.sum(axis=1) > 0
+        hosts_used = int(np.count_nonzero(used_mask))
+        if hosts_used == 0:
+            return 0, 0.0
+        utilization = loads[used_mask] / self.capacities[used_mask]
+        quality = float(np.mean(np.mean(utilization, axis=1) ** self.params.quality_exponent))
+        return hosts_used, quality
+
+    def _update_pheromone(self, best_assignment: np.ndarray, best_quality: float) -> None:
+        """Max-Min update, identical to the (fixed) scalar reference."""
+        params = self.params
+        self.pheromone *= 1.0 - params.rho
+        delta = params.rho * (1.0 + max(best_quality, 0.0))
+        self.pheromone[np.arange(best_assignment.shape[0]), best_assignment] += delta
+        np.clip(self.pheromone, params.tau_min, params.tau_max, out=self.pheromone)
+
+
+class VectorizedACOConsolidation(ACOConsolidation):
+    """Warehouse-scale ACO: batched ant kernels + parallel colonies + warm start.
+
+    Subclasses the scalar algorithm for its parameter handling and public
+    interface; the construction/evaluation machinery is replaced wholesale.
+
+    Parameters
+    ----------
+    parameters:
+        Shared :class:`~repro.core.aco.ACOParameters`.
+    rng:
+        Source of the single entropy draw that seeds all colonies (via
+        ``SeedSequence.spawn``), keeping the whole run deterministic in the
+        generator state and independent of ``jobs``.
+    n_colonies:
+        Independent colonies to run; the best result wins (ties broken by
+        quality, then colony index).
+    jobs:
+        Worker processes for the colony fan-out (1 = in-process).  Reuses the
+        sweeps executor; results are identical for any value.
+    """
+
+    name = "aco-vectorized"
+    #: Feature flag the reconfiguration policy checks before building warm
+    #: starts (the scalar reference deliberately does not support them).
+    supports_warm_start = True
+
+    def __init__(
+        self,
+        parameters: Optional[ACOParameters] = None,
+        rng: Optional[np.random.Generator] = None,
+        n_colonies: int = 1,
+        jobs: int = 1,
+    ) -> None:
+        super().__init__(parameters, rng)
+        if n_colonies <= 0:
+            raise ValueError("n_colonies must be positive")
+        if jobs <= 0:
+            raise ValueError("jobs must be positive")
+        self.n_colonies = int(n_colonies)
+        self.jobs = int(jobs)
+
+    # ------------------------------------------------------------------ public
+    def solve(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        initial_pheromone: Optional[np.ndarray] = None,
+    ) -> ConsolidationResult:
+        demands, capacities = validate_instance(demands, capacities)
+        return self._timed_solve(
+            lambda: self._run_colonies(demands, capacities, initial_pheromone),
+            demands,
+            capacities,
+        )
+
+    def consolidate(
+        self, placement: Placement, initial_pheromone: Optional[np.ndarray] = None
+    ) -> ConsolidationResult:
+        return self.solve(placement.demands, placement.capacities, initial_pheromone)
+
+    # ----------------------------------------------------------------- private
+    def _run_colonies(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        initial_pheromone: Optional[np.ndarray],
+    ) -> ConsolidationResult:
+        if demands.shape[0] == 0:
+            return ConsolidationResult(
+                placement=Placement(demands, capacities), algorithm=self.name
+            )
+        # One entropy draw, then SeedSequence children per colony: the result
+        # only depends on the generator state, never on the fan-out shape.
+        entropy = int(self.rng.integers(0, 2**63 - 1))
+        seeds = spawn_seed_sequences(entropy, self.n_colonies)
+        payloads = [
+            _colony_payload(demands, capacities, self.parameters, seed, colony, initial_pheromone)
+            for colony, seed in enumerate(seeds)
+        ]
+        if self.jobs > 1 and self.n_colonies > 1:
+            from repro.sweeps.executor import MultiprocessExecutor
+
+            outcomes = MultiprocessExecutor(self.jobs, fn=solve_colony).map(payloads)
+        else:
+            outcomes = [solve_colony(payload) for payload in payloads]
+
+        best = min(outcomes, key=lambda o: (o["hosts_used"], -o["quality"], o["colony"]))
+        placement = Placement(demands, capacities, best["assignment"])
+        return ConsolidationResult(
+            placement=placement,
+            algorithm=self.name,
+            iterations=int(sum(outcome["cycles"] for outcome in outcomes)),
+            proved_optimal=bool(best["hosts_used"] <= best["lower_bound"]),
+            history=list(best["history"]),
+            extra={
+                "lower_bound": best["lower_bound"],
+                "best_quality": best["quality"],
+                "best_colony": best["colony"],
+                "n_colonies": self.n_colonies,
+                "jobs": self.jobs,
+                "warm_started": initial_pheromone is not None,
+                "colony_hosts_used": [outcome["hosts_used"] for outcome in outcomes],
+                "pheromone_mean": best["pheromone_mean"],
+                "pheromone_min": best["pheromone_min"],
+                "pheromone_max": best["pheromone_max"],
+                "cycles_without_improvement": best["cycles_without_improvement"],
+            },
+        )

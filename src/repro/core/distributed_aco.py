@@ -17,20 +17,23 @@ quality for scalability:
 * no global pheromone matrix is required, which is what makes the approach
   feasible across Group Managers that only know their own Local Controllers.
 
-The benchmark ``benchmarks/test_bench_e9_distributed_aco.py`` quantifies this
-trade-off (hosts used and wall-clock runtime vs the centralized algorithm).
+The ACO scale benchmark ``benchmarks/test_bench_aco_scale.py`` quantifies the
+trade-off (decisions/sec and hosts used vs the centralized scalar reference)
+and records it in ``benchmarks/results/BENCH_ACO_SCALE.json``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.aco_vectorized import VectorizedACOConsolidation
 from repro.core.base import ConsolidationAlgorithm, ConsolidationResult, validate_instance
 from repro.core.placement import Placement, PlacementError
+from repro.simulation.randomness import spawn_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,30 @@ class PartitionResult:
     host_indices: np.ndarray
     hosts_used: int
     runtime_seconds: float
+
+
+def solve_partition(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one partition's local colony; module-level so pools can pickle it.
+
+    The per-partition generator is rebuilt from the ``SeedSequence`` child
+    identity carried in the payload (entropy + spawn key), so the outcome is
+    identical no matter which worker process -- or how many -- runs it.
+    """
+    parameters = ACOParameters(**payload["parameters"])
+    seed = np.random.SeedSequence(
+        entropy=payload["seed_entropy"], spawn_key=tuple(payload["seed_spawn_key"])
+    )
+    algorithm_class = VectorizedACOConsolidation if payload["vectorized"] else ACOConsolidation
+    result = algorithm_class(parameters, rng=np.random.default_rng(seed)).solve(
+        np.asarray(payload["demands"], dtype=float),
+        np.asarray(payload["capacities"], dtype=float),
+    )
+    return {
+        "assignment": result.placement.assignment,
+        "hosts_used": result.hosts_used,
+        "runtime_seconds": result.runtime_seconds,
+        "iterations": result.iterations,
+    }
 
 
 class DistributedACOConsolidation(ConsolidationAlgorithm):
@@ -61,8 +88,20 @@ class DistributedACOConsolidation(ConsolidationAlgorithm):
         emptied if *all* of its VMs can be absorbed elsewhere, mirroring the
         all-or-nothing rule of underload relocation.
     rng:
-        Random generator used both for partitioning and for seeding the
-        per-partition colonies (deterministic given the generator state).
+        Random generator used both for partitioning and for the single entropy
+        draw that seeds the per-partition colonies.  Partition generators are
+        derived from ``SeedSequence.spawn`` children of that draw (the
+        :mod:`repro.simulation.randomness` discipline), so the run is
+        deterministic given the generator state, the partition streams are
+        statistically independent, and the result does not depend on ``jobs``.
+    jobs:
+        Worker processes for the partition fan-out (1 = in-process, the
+        default).  Reuses the sweeps executor; in a real deployment each
+        partition runs on its own Group Manager, which this models.
+    vectorized:
+        When True each partition runs the batched
+        :class:`~repro.core.aco_vectorized.VectorizedACOConsolidation` kernels
+        instead of the scalar reference colonies.
     """
 
     name = "distributed-aco"
@@ -73,13 +112,19 @@ class DistributedACOConsolidation(ConsolidationAlgorithm):
         parameters: Optional[ACOParameters] = None,
         exchange_round: bool = True,
         rng: Optional[np.random.Generator] = None,
+        jobs: int = 1,
+        vectorized: bool = False,
     ) -> None:
         if n_partitions <= 0:
             raise ValueError("n_partitions must be positive")
+        if jobs <= 0:
+            raise ValueError("jobs must be positive")
         self.n_partitions = int(n_partitions)
         self.parameters = parameters or ACOParameters()
         self.exchange_round = bool(exchange_round)
         self.rng = rng or np.random.default_rng(0)
+        self.jobs = int(jobs)
+        self.vectorized = bool(vectorized)
 
     # ------------------------------------------------------------------ solve
     def solve(self, demands: np.ndarray, capacities: np.ndarray) -> ConsolidationResult:
@@ -98,26 +143,54 @@ class DistributedACOConsolidation(ConsolidationAlgorithm):
         partition_results: List[PartitionResult] = []
         total_cycles = 0
 
+        # One entropy draw, then one SeedSequence child per partition: the
+        # per-partition generators are derived before any fan-out, so the
+        # result is deterministic in the incoming generator state, free of
+        # the seed-collision hazard of ``default_rng(rng.integers(...))``,
+        # and independent of how many worker processes run the partitions.
+        entropy = int(self.rng.integers(0, 2**63 - 1))
+        seeds = spawn_seed_sequences(entropy, partitions)
+        payloads = []
+        occupied = []
         for index, (vm_indices, host_indices) in enumerate(zip(vm_parts, host_parts)):
             if vm_indices.size == 0:
+                continue
+            occupied.append(index)
+            payloads.append(
+                {
+                    "demands": demands[vm_indices],
+                    "capacities": capacities[host_indices],
+                    "parameters": asdict(self.parameters),
+                    "seed_entropy": seeds[index].entropy,
+                    "seed_spawn_key": tuple(seeds[index].spawn_key),
+                    "vectorized": self.vectorized,
+                }
+            )
+        if self.jobs > 1 and len(payloads) > 1:
+            from repro.sweeps.executor import MultiprocessExecutor
+
+            outcomes = MultiprocessExecutor(self.jobs, fn=solve_partition).map(payloads)
+        else:
+            outcomes = [solve_partition(payload) for payload in payloads]
+        outcome_by_index = dict(zip(occupied, outcomes))
+
+        for index, (vm_indices, host_indices) in enumerate(zip(vm_parts, host_parts)):
+            outcome = outcome_by_index.get(index)
+            if outcome is None:
                 partition_results.append(
                     PartitionResult(index, vm_indices, host_indices, 0, 0.0)
                 )
                 continue
-            local = ACOConsolidation(
-                self.parameters,
-                rng=np.random.default_rng(self.rng.integers(0, 2**31 - 1)),
-            ).solve(demands[vm_indices], capacities[host_indices])
-            total_cycles += local.iterations
+            total_cycles += outcome["iterations"]
             # Translate local host indices back to the global numbering.
-            assignment[vm_indices] = host_indices[local.placement.assignment]
+            assignment[vm_indices] = host_indices[outcome["assignment"]]
             partition_results.append(
                 PartitionResult(
                     index,
                     vm_indices,
                     host_indices,
-                    local.hosts_used,
-                    local.runtime_seconds,
+                    outcome["hosts_used"],
+                    outcome["runtime_seconds"],
                 )
             )
 
@@ -135,6 +208,8 @@ class DistributedACOConsolidation(ConsolidationAlgorithm):
                 "partition_hosts_used": [result.hosts_used for result in partition_results],
                 "partition_runtimes": [result.runtime_seconds for result in partition_results],
                 "exchange_migrations": exchanged,
+                "jobs": self.jobs,
+                "vectorized": self.vectorized,
             },
         )
 

@@ -18,20 +18,34 @@ The :class:`ReconfigurationPolicy` glues three pieces together:
    plan frees entirely (candidates for suspension).
 
 The **bridge** at the bottom registers every :mod:`repro.core` consolidation
-algorithm (ACO, distributed ACO, FFD, BFD, WFD) as a ``reconfiguration``
-policy, so scenarios can run e.g. ACO-driven periodic consolidation inside the
-live hierarchy by name -- not only offline through the benchmark harness.
+algorithm (ACO scalar and vectorized, distributed ACO, FFD, BFD, WFD) as a
+``reconfiguration`` policy, so scenarios can run e.g. ACO-driven periodic
+consolidation inside the live hierarchy by name -- not only offline through
+the benchmark harness.
+
+Two warehouse-scale modes ride on the vectorized algorithm (ROADMAP item 5):
+
+* **warm start** -- after every accepted plan the policy distills the
+  VM-to-host pairs into a persisted
+  :class:`~repro.core.aco_vectorized.PheromoneSummary`; the next round seeds
+  the pheromone matrix from it, so per-cycle re-optimization starts at the
+  incumbent placement instead of from scratch.
+* **incremental** -- only *dirty* hosts participate: nodes whose VM set or
+  measured load changed since the previous plan (plus nodes never seen
+  before).  Unchanged corners of the fleet are skipped entirely, which is
+  what makes periodic consolidation affordable on warehouse-size groups.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.node import PhysicalNode
 from repro.cluster.vm import VirtualMachine
 from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.aco_vectorized import PheromoneSummary, VectorizedACOConsolidation
 from repro.core.base import ConsolidationAlgorithm
 from repro.core.distributed_aco import DistributedACOConsolidation
 from repro.core.ffd import BestFitDecreasing, FirstFitDecreasing, WorstFitDecreasing
@@ -55,25 +69,36 @@ class ReconfigurationPolicy:
         thresholds: Optional[UtilizationThresholds] = None,
         max_migrations: Optional[int] = None,
         include_overloaded: bool = False,
+        warm_start: bool = False,
+        incremental: bool = False,
     ) -> None:
         self.algorithm = algorithm or ACOConsolidation()
         self.thresholds = thresholds or UtilizationThresholds()
         self.max_migrations = max_migrations
         self.include_overloaded = include_overloaded
+        #: Seed the next round's pheromone matrix from the previous plan
+        #: (only honoured by algorithms advertising ``supports_warm_start``).
+        self.warm_start = bool(warm_start)
+        #: Restrict each round to nodes whose VM set or load changed since
+        #: the previous round.
+        self.incremental = bool(incremental)
+        self._summary = PheromoneSummary()
+        self._node_signatures: Dict[str, Tuple] = {}
 
     # ------------------------------------------------------------------ run
     def plan(self, nodes: Sequence[PhysicalNode]) -> MigrationPlan:
         """Compute a reconfiguration plan over the given Local Controller hosts."""
         eligible = self._eligible_nodes(nodes)
         plan = MigrationPlan()
-        vms: List[VirtualMachine] = [vm for node in eligible for vm in node.vms]
-        if len(eligible) < 2 or not vms:
+        participants = self._participants(eligible)
+        vms: List[VirtualMachine] = [vm for node in participants for vm in node.vms]
+        if len(participants) < 2 or not vms:
             return plan
 
-        current, vm_list, node_list = placement_from_nodes(eligible, vms)
+        current, vm_list, node_list = placement_from_nodes(participants, vms)
         plan.hosts_before = current.hosts_used()
 
-        result = self.algorithm.consolidate(current)
+        result = self._consolidate(current, vm_list, node_list)
         target = result.placement
         plan.consolidation_summary = result.summary()
 
@@ -94,18 +119,71 @@ class ReconfigurationPolicy:
                 )
             )
 
+        if self.warm_start and getattr(self.algorithm, "supports_warm_start", False):
+            # Persist the *target* pairs: the plan the search converged to is
+            # what the next round should resume from, even if execution defers
+            # some moves (deferred moves re-surface as dirty nodes).
+            for row, vm in enumerate(vm_list):
+                self._summary.pairs[vm.vm_id] = node_list[int(target.assignment[row])].node_id
+
         # Nodes emptied by the executed moves (not merely by the ideal target,
         # which may be partially deferred).
-        simulated_population = {node.node_id: node.vm_count for node in eligible}
+        simulated_population = {node.node_id: node.vm_count for node in participants}
         for _vm, source, destination in plan.moves:
             simulated_population[source.node_id] -= 1
             simulated_population[destination.node_id] += 1
         plan.released_nodes = [
             node
-            for node in eligible
+            for node in participants
             if simulated_population[node.node_id] == 0 and node.vm_count > 0
         ]
         return plan
+
+    # ----------------------------------------------------------- incremental
+    def _participants(self, eligible: List[PhysicalNode]) -> List[PhysicalNode]:
+        """The nodes this round actually consolidates.
+
+        In incremental mode only *dirty* nodes participate: nodes whose VM set
+        or measured load changed since the previous round, plus nodes never
+        seen before.  The signature snapshot is refreshed every round, so a
+        node touched by this round's moves shows up dirty on the next one and
+        gets re-packed then.
+        """
+        if not self.incremental:
+            return eligible
+        signatures = {node.node_id: self._node_signature(node) for node in eligible}
+        if self._node_signatures:
+            participants = [
+                node
+                for node in eligible
+                if self._node_signatures.get(node.node_id) != signatures[node.node_id]
+            ]
+        else:
+            participants = eligible
+        self._node_signatures = signatures
+        return participants
+
+    @staticmethod
+    def _node_signature(node: PhysicalNode) -> Tuple:
+        """Cheap change-detection key: VM identity set + rounded load vector."""
+        return (
+            node.vm_count,
+            tuple(sorted(vm.vm_id for vm in node.vms)),
+            tuple(np.round(np.asarray(node.used_values(), dtype=float), 6).tolist()),
+        )
+
+    # ------------------------------------------------------------ warm start
+    def _consolidate(self, current, vm_list, node_list):
+        """Run the algorithm, warm-started from the persisted summary if possible."""
+        if self.warm_start and getattr(self.algorithm, "supports_warm_start", False):
+            initial = self._summary.matrix(
+                [vm.vm_id for vm in vm_list],
+                [node.node_id for node in node_list],
+                self.algorithm.parameters,
+            )
+            if initial is not None:
+                return self.algorithm.consolidate(current, initial_pheromone=initial)
+        return self.algorithm.consolidate(current)
 
     # -------------------------------------------------------------- selection
     def _eligible_nodes(self, nodes: Sequence[PhysicalNode]) -> List[PhysicalNode]:
@@ -132,12 +210,16 @@ def _policy(
     thresholds: Optional[UtilizationThresholds],
     max_migrations: Optional[int],
     include_overloaded: bool,
+    warm_start: bool = False,
+    incremental: bool = False,
 ) -> ReconfigurationPolicy:
     return ReconfigurationPolicy(
         algorithm=algorithm,
         thresholds=thresholds,
         max_migrations=max_migrations,
         include_overloaded=include_overloaded,
+        warm_start=warm_start,
+        incremental=incremental,
     )
 
 
@@ -157,12 +239,44 @@ def aco_reconfiguration(
     return _policy(algorithm, thresholds, max_migrations, include_overloaded)
 
 
+@register_policy("reconfiguration", name="aco-vectorized")
+def vectorized_aco_reconfiguration(
+    n_ants: int = 8,
+    n_cycles: int = 30,
+    n_colonies: int = 1,
+    jobs: int = 1,
+    warm_start: bool = True,
+    incremental: bool = False,
+    thresholds: Optional[UtilizationThresholds] = None,
+    max_migrations: Optional[int] = None,
+    include_overloaded: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> ReconfigurationPolicy:
+    """Warehouse-scale ACO: batched ant kernels, warm start, dirty subsets."""
+    algorithm = VectorizedACOConsolidation(
+        ACOParameters(n_ants=int(n_ants), n_cycles=int(n_cycles)),
+        rng=rng,
+        n_colonies=int(n_colonies),
+        jobs=int(jobs),
+    )
+    return _policy(
+        algorithm,
+        thresholds,
+        max_migrations,
+        include_overloaded,
+        warm_start=bool(warm_start),
+        incremental=bool(incremental),
+    )
+
+
 @register_policy("reconfiguration", name="distributed-aco")
 def distributed_aco_reconfiguration(
     n_partitions: int = 2,
     n_ants: int = 8,
     n_cycles: int = 30,
     exchange_round: bool = True,
+    jobs: int = 1,
+    vectorized: bool = False,
     thresholds: Optional[UtilizationThresholds] = None,
     max_migrations: Optional[int] = None,
     include_overloaded: bool = False,
@@ -174,6 +288,8 @@ def distributed_aco_reconfiguration(
         parameters=ACOParameters(n_ants=int(n_ants), n_cycles=int(n_cycles)),
         exchange_round=bool(exchange_round),
         rng=rng,
+        jobs=int(jobs),
+        vectorized=bool(vectorized),
     )
     return _policy(algorithm, thresholds, max_migrations, include_overloaded)
 

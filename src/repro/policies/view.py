@@ -164,12 +164,16 @@ class ClusterView:
         :meth:`feasible_mask` is True.
         """
         remaining = self.capacities - self.reserved - np.asarray(demand, dtype=float)
-        return np.sum(remaining / self.capacities, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(self.capacities > 0, remaining / self.capacities, 0.0)
+        return np.sum(fractions, axis=1)
 
     def headroom_fractions(self) -> np.ndarray:
         """Per-node normalized free capacity ``sum_k max(0, cap_k - reserved_k) / cap_k``."""
         free = np.clip(self.capacities - self.reserved, 0.0, None)
-        return np.sum(free / self.capacities, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(self.capacities > 0, free / self.capacities, 0.0)
+        return np.sum(fractions, axis=1)
 
     def cpu_capacity(self) -> np.ndarray:
         """``(n,)`` CPU capacity per node."""

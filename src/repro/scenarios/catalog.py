@@ -285,6 +285,49 @@ def _aco_consolidation_cycle() -> ScenarioSpec:
 
 
 @register_scenario
+def _consolidation_at_scale() -> ScenarioSpec:
+    """Warm-started incremental vectorized ACO consolidating a larger fleet."""
+    return ScenarioSpec(
+        name="consolidation-at-scale",
+        description=(
+            "Periodic consolidation on a 48-host fleet driven by the "
+            "vectorized ACO: batched ant kernels re-pack only the hosts "
+            "whose VM set or load changed since the last plan, warm-started "
+            "from the previous plan's persisted pheromone summary."
+        ),
+        duration=3600.0,
+        local_controllers=48,
+        group_managers=4,
+        config={
+            "monitoring_interval": 30.0,
+            "summary_interval": 30.0,
+            "reconfiguration_interval": 600.0,
+            "max_migrations_per_round": 12,
+        },
+        policies={
+            "placement": {"name": "best-fit"},
+            "reconfiguration": {
+                "name": "aco-vectorized",
+                "n_ants": 6,
+                "n_cycles": 10,
+                "warm_start": True,
+                "incremental": True,
+            },
+        },
+        phases=[
+            WorkloadPhase(
+                name="churn",
+                vm_count=160,
+                arrival={"kind": "poisson", "rate_per_hour": 600.0},
+                demand={"kind": "uniform", "low": 0.1, "high": 0.3},
+                trace={"kind": "constant", "level": 0.6},
+                lifetime={"kind": "exponential", "mean": 1500.0, "minimum": 180.0},
+            )
+        ],
+    )
+
+
+@register_scenario
 def _megafleet_steady() -> ScenarioSpec:
     """A 256-host fleet in churn equilibrium, exercising the vectorized hot path."""
     return ScenarioSpec(

@@ -63,26 +63,37 @@ def execute_run(payload: Dict[str, object]) -> Dict[str, object]:
 
 
 class SerialExecutor:
-    """Run every cell in-process, one after another."""
+    """Run every cell in-process, one after another.
+
+    ``fn`` defaults to the sweep cell runner but any picklable module-level
+    function over plain payloads works -- the parallel ACO colonies reuse the
+    executor pair with their own worker function.
+    """
 
     jobs = 1
 
+    def __init__(self, fn=execute_run) -> None:
+        self.fn = fn
+
     def map(self, payloads: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
         """Outcomes for ``payloads``, in order."""
-        return [execute_run(payload) for payload in payloads]
+        return [self.fn(payload) for payload in payloads]
 
 
 class MultiprocessExecutor:
     """Run cells across a ``multiprocessing`` pool of worker processes.
 
     ``multiprocessing.Pool.map`` preserves input order, so the outcome list is
-    identical to the serial executor's regardless of completion order.
+    identical to the serial executor's regardless of completion order.  As with
+    :class:`SerialExecutor`, ``fn`` may be any picklable module-level function
+    (the default runs sweep cells).
     """
 
-    def __init__(self, jobs: int, start_method: Optional[str] = None) -> None:
+    def __init__(self, jobs: int, start_method: Optional[str] = None, fn=execute_run) -> None:
         if jobs < 2:
             raise ValueError("MultiprocessExecutor needs jobs >= 2 (use SerialExecutor)")
         self.jobs = int(jobs)
+        self.fn = fn
         # Prefer fork on Linux only: workers inherit the imported registries
         # instead of re-importing the package per process.  On macOS fork is
         # available but unsafe (the spawn default exists for a reason), so
@@ -100,11 +111,11 @@ class MultiprocessExecutor:
         context = multiprocessing.get_context(self.start_method)
         workers = min(self.jobs, len(payloads))
         with context.Pool(processes=workers) as pool:
-            return pool.map(execute_run, payloads, chunksize=1)
+            return pool.map(self.fn, payloads, chunksize=1)
 
 
-def make_executor(jobs: int = 1):
+def make_executor(jobs: int = 1, fn=execute_run):
     """The executor for ``jobs`` parallel workers (serial when ``jobs == 1``)."""
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    return SerialExecutor() if jobs == 1 else MultiprocessExecutor(jobs)
+    return SerialExecutor(fn) if jobs == 1 else MultiprocessExecutor(jobs, fn=fn)

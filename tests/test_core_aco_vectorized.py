@@ -1,0 +1,221 @@
+"""Tests for the vectorized ACO: batched kernels, colonies, warm start, bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ACOConsolidation, PheromoneSummary, VectorizedACOConsolidation
+from repro.core.aco import ACOParameters
+from repro.core.base import lower_bound_hosts
+from repro.core.placement import PlacementError
+from repro.workloads import UniformDemandDistribution, consolidation_instance
+
+
+def make_instance(n_vms=60, seed=0):
+    rng = np.random.default_rng(seed)
+    return consolidation_instance(
+        n_vms,
+        rng,
+        demand_distribution=UniformDemandDistribution(0.1, 0.5, dimensions=("cpu", "memory")),
+        host_capacity=(1.0, 1.0),
+    )
+
+
+class TestVectorizedACO:
+    def test_produces_feasible_complete_placement(self):
+        demands, capacities = make_instance()
+        result = VectorizedACOConsolidation(rng=np.random.default_rng(0)).solve(
+            demands, capacities
+        )
+        assert result.feasible
+        assert result.placement.fully_assigned
+        assert result.algorithm == "aco-vectorized"
+        assert result.hosts_used >= lower_bound_hosts(demands, capacities)
+
+    def test_feasible_across_seeds_and_sizes(self):
+        """Property sweep: every constructed plan respects every capacity."""
+        for n_vms, seed in [(10, 0), (40, 1), (90, 2), (150, 3)]:
+            demands, capacities = make_instance(n_vms, seed=seed)
+            result = VectorizedACOConsolidation(
+                ACOParameters(n_ants=4, n_cycles=6), rng=np.random.default_rng(seed)
+            ).solve(demands, capacities)
+            assert result.feasible
+            loads = np.zeros_like(capacities)
+            np.add.at(loads, result.placement.assignment, demands)
+            assert np.all(loads <= capacities + 1e-9)
+
+    def test_packs_no_worse_than_scalar_on_identical_seeds(self):
+        """The batched kernels change the speed, not the packing quality."""
+        params = ACOParameters(n_ants=6, n_cycles=15)
+        for seed in range(5):
+            demands, capacities = make_instance(50, seed=seed)
+            scalar = ACOConsolidation(params, rng=np.random.default_rng(seed)).solve(
+                demands, capacities
+            )
+            vectorized = VectorizedACOConsolidation(
+                params, rng=np.random.default_rng(seed)
+            ).solve(demands, capacities)
+            assert vectorized.hosts_used <= scalar.hosts_used
+
+    def test_deterministic_given_rng(self):
+        demands, capacities = make_instance(40, seed=4)
+        a = VectorizedACOConsolidation(rng=np.random.default_rng(7)).solve(demands, capacities)
+        b = VectorizedACOConsolidation(rng=np.random.default_rng(7)).solve(demands, capacities)
+        assert np.array_equal(a.placement.assignment, b.placement.assignment)
+
+    def test_history_is_monotone_non_increasing(self):
+        demands, capacities = make_instance(40, seed=5)
+        result = VectorizedACOConsolidation(rng=np.random.default_rng(1)).solve(
+            demands, capacities
+        )
+        assert result.history == sorted(result.history, reverse=True)
+
+    def test_colonies_independent_of_jobs_count(self):
+        """Seeds are spawned before the fan-out, so jobs=1 and jobs=2 agree."""
+        demands, capacities = make_instance(40, seed=6)
+        params = ACOParameters(n_ants=4, n_cycles=6)
+        serial = VectorizedACOConsolidation(
+            params, rng=np.random.default_rng(3), n_colonies=3, jobs=1
+        ).solve(demands, capacities)
+        parallel = VectorizedACOConsolidation(
+            params, rng=np.random.default_rng(3), n_colonies=3, jobs=2
+        ).solve(demands, capacities)
+        assert np.array_equal(serial.placement.assignment, parallel.placement.assignment)
+        assert serial.extra["colony_hosts_used"] == parallel.extra["colony_hosts_used"]
+        assert serial.extra["best_colony"] == parallel.extra["best_colony"]
+
+    def test_multiple_colonies_never_worse_than_their_best(self):
+        demands, capacities = make_instance(50, seed=7)
+        result = VectorizedACOConsolidation(
+            ACOParameters(n_ants=4, n_cycles=8), rng=np.random.default_rng(9), n_colonies=4
+        ).solve(demands, capacities)
+        assert result.extra["n_colonies"] == 4
+        assert len(result.extra["colony_hosts_used"]) == 4
+        assert result.hosts_used == min(result.extra["colony_hosts_used"])
+
+    def test_stops_at_lower_bound(self):
+        demands = np.array([[0.5, 0.5], [0.5, 0.5]])
+        capacities = np.tile([1.0, 1.0], (3, 1))
+        result = VectorizedACOConsolidation(
+            ACOParameters(n_ants=4, n_cycles=50), rng=np.random.default_rng(0)
+        ).solve(demands, capacities)
+        assert result.hosts_used == 1
+        assert result.proved_optimal
+
+    def test_empty_instance(self):
+        capacities = np.tile([1.0, 1.0], (2, 1))
+        result = VectorizedACOConsolidation(rng=np.random.default_rng(0)).solve(
+            np.empty((0, 2)), capacities
+        )
+        assert result.hosts_used == 0
+
+    def test_too_few_hosts_raises(self):
+        demands = np.tile([0.9, 0.9], (3, 1))
+        capacities = np.tile([1.0, 1.0], (2, 1))
+        with pytest.raises(PlacementError):
+            VectorizedACOConsolidation(rng=np.random.default_rng(0)).solve(demands, capacities)
+
+    def test_invalid_colony_and_jobs_counts_rejected(self):
+        with pytest.raises(ValueError):
+            VectorizedACOConsolidation(n_colonies=0)
+        with pytest.raises(ValueError):
+            VectorizedACOConsolidation(jobs=0)
+
+    def test_mismatched_initial_pheromone_shape_rejected(self):
+        demands, capacities = make_instance(10, seed=8)
+        with pytest.raises(PlacementError):
+            VectorizedACOConsolidation(rng=np.random.default_rng(0)).solve(
+                demands, capacities, initial_pheromone=np.ones((3, 3))
+            )
+
+
+class TestPheromoneBounds:
+    """Regression for the deposit-scale bug: the reinforcement used to grow
+    with the instance size (``delta ~ n_vms / hosts_used``), so at a few
+    hundred VMs every reinforced entry slammed into ``tau_max`` and the
+    Max-Min band collapsed.  The fixed deposit is size-independent, so on a
+    large instance the trail must sit *strictly inside* ``(tau_min, tau_max)``."""
+
+    # Few cycles and no early stop: unreinforced entries decay to
+    # tau_initial * (1-rho)^cycles = 0.7^5 ~ 0.17, still above tau_min=0.05,
+    # while reinforced entries approach rho-equilibrium (1+quality) < 2 < 5.
+    PARAMS = ACOParameters(
+        n_ants=2, n_cycles=5, stop_at_lower_bound=False, stagnation_cycles=None
+    )
+
+    @staticmethod
+    def large_instance():
+        rng = np.random.default_rng(12)
+        return consolidation_instance(
+            500,
+            rng,
+            demand_distribution=UniformDemandDistribution(0.05, 0.3, dimensions=("cpu", "memory")),
+            host_capacity=(1.0, 1.0),
+        )
+
+    def test_vectorized_pheromone_strictly_inside_band_at_500_vms(self):
+        demands, capacities = self.large_instance()
+        result = VectorizedACOConsolidation(self.PARAMS, rng=np.random.default_rng(2)).solve(
+            demands, capacities
+        )
+        assert result.extra["pheromone_max"] < self.PARAMS.tau_max
+        assert result.extra["pheromone_min"] > self.PARAMS.tau_min
+
+    def test_scalar_pheromone_strictly_inside_band_at_500_vms(self):
+        demands, capacities = self.large_instance()
+        result = ACOConsolidation(self.PARAMS, rng=np.random.default_rng(2)).solve(
+            demands, capacities
+        )
+        assert result.extra["pheromone_max"] < self.PARAMS.tau_max
+        assert result.extra["pheromone_min"] > self.PARAMS.tau_min
+
+
+class TestWarmStart:
+    def test_summary_matrix_boosts_remembered_pairs(self):
+        params = ACOParameters()
+        summary = PheromoneSummary(pairs={1: "node-b", 2: "node-a"}, strength=0.5)
+        matrix = summary.matrix([1, 2, 3], ["node-a", "node-b"], params)
+        boosted = params.tau_initial + 0.5 * (params.tau_max - params.tau_initial)
+        assert matrix is not None
+        assert matrix[0, 1] == pytest.approx(boosted)
+        assert matrix[1, 0] == pytest.approx(boosted)
+        # VM 3 has no remembered host: uniform initial trail.
+        assert np.all(matrix[2] == params.tau_initial)
+
+    def test_summary_matrix_none_without_surviving_pairs(self):
+        params = ACOParameters()
+        assert PheromoneSummary().matrix([1, 2], ["a"], params) is None
+        stale = PheromoneSummary(pairs={99: "gone-host"})
+        assert stale.matrix([1, 2], ["a"], params) is None
+
+    def test_warm_start_reproduces_incumbent_via_greedy_anchor(self):
+        """A strongly-boosted trail makes the greedy anchor rebuild the plan."""
+        demands, capacities = make_instance(40, seed=10)
+        params = ACOParameters(n_ants=4, n_cycles=10)
+        cold = VectorizedACOConsolidation(params, rng=np.random.default_rng(5)).solve(
+            demands, capacities
+        )
+        summary = PheromoneSummary(
+            pairs={vm: int(host) for vm, host in enumerate(cold.placement.assignment)},
+            strength=1.0,
+        )
+        initial = summary.matrix(
+            list(range(demands.shape[0])), list(range(capacities.shape[0])), params
+        )
+        warm = VectorizedACOConsolidation(params, rng=np.random.default_rng(6)).solve(
+            demands, capacities, initial_pheromone=initial
+        )
+        assert warm.extra["warm_started"]
+        # The anchor bounds the warm run from below: never worse than the
+        # remembered plan, regardless of what the stochastic cycles find.
+        assert warm.hosts_used <= cold.hosts_used
+
+    def test_warm_start_is_clipped_into_the_maxmin_band(self):
+        demands, capacities = make_instance(20, seed=11)
+        params = ACOParameters(n_ants=2, n_cycles=1, stop_at_lower_bound=False)
+        hot = np.full((demands.shape[0], capacities.shape[0]), 50.0)
+        result = VectorizedACOConsolidation(params, rng=np.random.default_rng(1)).solve(
+            demands, capacities, initial_pheromone=hot
+        )
+        assert result.extra["pheromone_max"] <= params.tau_max + 1e-9

@@ -104,3 +104,91 @@ class TestDistributedACO:
             n_partitions=2, parameters=params, rng=np.random.default_rng(11)
         ).solve(demands, capacities)
         assert np.array_equal(a.placement.assignment, b.placement.assignment)
+
+    def test_result_independent_of_jobs_count(self):
+        """Partition seeds are SeedSequence children spawned before the
+        fan-out, so in-process and multiprocess runs are byte-identical
+        (regression for the old ``default_rng(rng.integers(...))`` reseeding,
+        which was fan-out-order dependent and collision-prone)."""
+        demands, capacities = make_instance(45, seed=13)
+        params = ACOParameters(n_ants=4, n_cycles=6)
+        serial = DistributedACOConsolidation(
+            n_partitions=3, parameters=params, rng=np.random.default_rng(21), jobs=1
+        ).solve(demands, capacities)
+        parallel = DistributedACOConsolidation(
+            n_partitions=3, parameters=params, rng=np.random.default_rng(21), jobs=2
+        ).solve(demands, capacities)
+        assert np.array_equal(serial.placement.assignment, parallel.placement.assignment)
+        assert serial.extra["partition_hosts_used"] == parallel.extra["partition_hosts_used"]
+
+    def test_vectorized_partitions_feasible_and_deterministic(self):
+        demands, capacities = make_instance(60, seed=14)
+        params = ACOParameters(n_ants=4, n_cycles=6)
+        a = DistributedACOConsolidation(
+            n_partitions=3, parameters=params, rng=np.random.default_rng(5), vectorized=True
+        ).solve(demands, capacities)
+        b = DistributedACOConsolidation(
+            n_partitions=3, parameters=params, rng=np.random.default_rng(5), vectorized=True
+        ).solve(demands, capacities)
+        assert a.feasible
+        assert a.extra["vectorized"] is True
+        assert np.array_equal(a.placement.assignment, b.placement.assignment)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedACOConsolidation(jobs=0)
+
+
+class TestExchangeRound:
+    """Property tests for the cross-partition host-release pass.
+
+    With identical generators the pre-exchange plans of ``exchange_round=False``
+    and ``exchange_round=True`` runs coincide (seeding is deterministic), so the
+    pair exposes exactly what the exchange changed.
+    """
+
+    def paired_runs(self, n_vms=70, seed=17, rng_seed=23):
+        demands, capacities = make_instance(n_vms, seed=seed)
+        params = ACOParameters(n_ants=4, n_cycles=8)
+        before = DistributedACOConsolidation(
+            n_partitions=4, parameters=params, exchange_round=False,
+            rng=np.random.default_rng(rng_seed),
+        ).solve(demands, capacities)
+        after = DistributedACOConsolidation(
+            n_partitions=4, parameters=params, exchange_round=True,
+            rng=np.random.default_rng(rng_seed),
+        ).solve(demands, capacities)
+        return demands, capacities, before, after
+
+    def test_exchange_preserves_feasibility_and_completeness(self):
+        demands, capacities, _, after = self.paired_runs()
+        assert after.feasible
+        assert after.placement.fully_assigned
+        loads = np.zeros_like(capacities)
+        np.add.at(loads, after.placement.assignment, demands)
+        assert np.all(loads <= capacities + 1e-9)
+
+    def test_exchange_migrations_matches_actual_assignment_changes(self):
+        _, _, before, after = self.paired_runs()
+        changed = int(
+            np.count_nonzero(before.placement.assignment != after.placement.assignment)
+        )
+        assert after.extra["exchange_migrations"] == changed
+
+    def test_exchange_is_all_or_nothing_per_host(self):
+        """A host sheds either all of its VMs or none of them."""
+        _, capacities, before, after = self.paired_runs()
+        for host in range(capacities.shape[0]):
+            original = set(np.flatnonzero(before.placement.assignment == host))
+            if not original:
+                continue
+            remaining = original & set(np.flatnonzero(after.placement.assignment == host))
+            assert remaining == original or not remaining
+
+    def test_exchange_only_fills_already_used_hosts(self):
+        """Moved VMs land on hosts the pre-exchange plan already used."""
+        _, _, before, after = self.paired_runs()
+        used_before = set(before.placement.used_host_indices().tolist())
+        moved = np.flatnonzero(before.placement.assignment != after.placement.assignment)
+        for vm in moved:
+            assert int(after.placement.assignment[vm]) in used_before

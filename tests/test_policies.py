@@ -72,6 +72,7 @@ class TestRegistry:
         }
         assert set(policy_names("reconfiguration")) == {
             "aco",
+            "aco-vectorized",
             "distributed-aco",
             "ffd",
             "bfd",
@@ -149,6 +150,22 @@ class TestClusterView:
         view = ClusterView.from_nodes([])
         assert len(view) == 0
         assert view.feasible_mask(np.array([0.1, 0.1, 0.1])).size == 0
+
+    def test_zero_capacity_dimension_yields_finite_scores(self):
+        """Regression: a node advertising 0 capacity in some dimension (e.g. a
+        diskless or NIC-less tier) used to make ``residual_after`` and
+        ``headroom_fractions`` divide by zero and poison best/worst-fit scoring
+        with NaN/inf.  Zero-capacity dimensions now contribute 0 headroom."""
+        nodes = [make_node("node-0"), make_node("node-1", network=0.0)]
+        nodes[0].place_vm(make_vm(0.4, 0.4, 0.1))
+        view = ClusterView.from_nodes(nodes)
+        residual = view.residual_after(np.array([0.2, 0.2, 0.0]))
+        headroom = view.headroom_fractions()
+        assert np.all(np.isfinite(residual))
+        assert np.all(np.isfinite(headroom))
+        # The degenerate dimension contributes nothing, the others still count.
+        index = view.index_of("node-1")
+        assert headroom[index] == pytest.approx(2.0)
 
 
 def _reference_select(policy_name, vm, nodes):

@@ -8,6 +8,7 @@ import pytest
 
 from repro.cluster.resources import ResourceVector
 from repro.core.aco import ACOConsolidation, ACOParameters
+from repro.core.aco_vectorized import VectorizedACOConsolidation
 from repro.core.ffd import FirstFitDecreasing
 from repro.monitoring.summary import GroupManagerSummary
 from repro.scheduling.dispatching import (
@@ -320,3 +321,69 @@ class TestReconfiguration:
         plan = ReconfigurationPolicy(algorithm=FirstFitDecreasing()).plan(nodes)
         assert plan.consolidation_summary.get("algorithm") == "ffd"
         assert "runtime_seconds" in plan.consolidation_summary
+
+
+class TestWarmStartReconfiguration:
+    def busy_cluster(self, node_count=6, loaded=4):
+        nodes = [make_node(f"node-{i}") for i in range(node_count)]
+        for node in nodes[:loaded]:
+            vm = make_vm(cpu=0.3, memory=0.3, network=0.1, trace=ConstantTrace(1.0))
+            node.place_vm(vm)
+            vm.update_usage(0.0)
+        return nodes
+
+    def make_policy(self, **kwargs):
+        return ReconfigurationPolicy(
+            algorithm=VectorizedACOConsolidation(
+                ACOParameters(n_ants=4, n_cycles=8), rng=np.random.default_rng(0)
+            ),
+            **kwargs,
+        )
+
+    def test_warm_start_persists_target_pairs(self):
+        nodes = self.busy_cluster()
+        policy = self.make_policy(warm_start=True)
+        plan = policy.plan(nodes)
+        assert plan.hosts_after <= plan.hosts_before
+        # Every participating VM's target host is remembered by id.
+        vm_ids = {vm.vm_id for node in nodes for vm in node.vms}
+        assert set(policy._summary.pairs) == vm_ids
+        node_ids = {node.node_id for node in nodes}
+        assert set(policy._summary.pairs.values()) <= node_ids
+
+    def test_warm_started_round_plans_no_worse(self):
+        nodes = self.busy_cluster()
+        policy = self.make_policy(warm_start=True)
+        first = policy.plan(nodes)
+        # Same cluster state again: the warm trail reproduces (or improves on)
+        # the previous target via the greedy anchor.
+        second = policy.plan(nodes)
+        assert second.hosts_after <= first.hosts_after
+
+    def test_warm_start_ignored_by_algorithms_without_support(self):
+        nodes = self.busy_cluster()
+        policy = ReconfigurationPolicy(algorithm=FirstFitDecreasing(), warm_start=True)
+        policy.plan(nodes)
+        assert policy._summary.pairs == {}
+
+    def test_incremental_round_skips_clean_nodes(self):
+        nodes = self.busy_cluster()
+        policy = self.make_policy(incremental=True)
+        first = policy.plan(nodes)
+        assert not first.empty
+        # Nothing changed since the snapshot: no node is dirty, so the next
+        # round has fewer than two participants and produces no plan.
+        second = policy.plan(nodes)
+        assert second.empty
+
+    def test_incremental_round_repacks_dirty_nodes(self):
+        nodes = self.busy_cluster()
+        policy = self.make_policy(incremental=True)
+        policy.plan(nodes)
+        # Touch two nodes: both become dirty and participate again.
+        for node in nodes[:2]:
+            vm = make_vm(cpu=0.2, memory=0.2, network=0.1, trace=ConstantTrace(1.0))
+            node.place_vm(vm)
+            vm.update_usage(0.0)
+        participants = policy._participants(policy._eligible_nodes(nodes))
+        assert {node.node_id for node in participants} == {"node-0", "node-1"}
