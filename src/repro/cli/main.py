@@ -39,6 +39,12 @@ Sub-commands
     (:mod:`repro.sweeps`): ``sweep list``, ``sweep describe <name>``,
     ``sweep run <name> [--jobs N] [--json] [--policy kind=name ...]
     [--duration S] [--output PATH] [--csv PATH]``.
+
+``repro-sim megafleet``
+    List and run the warehouse-scale fleet catalog (:mod:`repro.megafleet`)
+    on the sharded lockstep engine: ``megafleet list``, ``megafleet run
+    <name> [--seed N] [--shards K] [--jobs N] [--duration S] [--json]``
+    (byte-identical results for any shards/jobs count).
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ import numpy as np
 from repro.core import ACOConsolidation, BestFitDecreasing, BranchAndBoundOptimal, FirstFitDecreasing
 from repro.core.aco import ACOParameters
 from repro.hierarchy import HierarchyConfig, SnoozeSystem, SystemSpec
+from repro.megafleet import get_megafleet, megafleet_names, run_megafleet
 from repro.metrics.report import ComparisonTable
 from repro.policies import get_policy_spec, iter_policy_specs
 from repro.policies.registry import merge_policy_selections
@@ -207,6 +214,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--output", metavar="PATH", help="also write the JSON report to PATH")
     sweep.add_argument("--csv", metavar="PATH", help="also write the CSV report to PATH")
+
+    megafleet = subparsers.add_parser(
+        "megafleet", help="list and run warehouse-scale fleets (sharded lockstep engine)"
+    )
+    megafleet.add_argument("action", choices=["list", "run"], help="what to do")
+    megafleet.add_argument("name", nargs="?", help="fleet name (for run)")
+    megafleet.add_argument("--seed", type=int, default=0, help="random seed")
+    megafleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="lockstep shards (results are identical for any count)",
+    )
+    megafleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes advancing the shards (default 1 = serial)",
+    )
+    megafleet.add_argument(
+        "--duration", type=float, default=None, help="override the simulated duration (seconds)"
+    )
+    megafleet.add_argument(
+        "--json", action="store_true", help="emit the canonical JSON result instead of tables"
+    )
     return parser
 
 
@@ -707,6 +739,50 @@ def _run_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
     return 0
 
 
+def _run_megafleet_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.action == "list":
+        specs = [get_megafleet(name) for name in megafleet_names()]
+        if args.json:
+            print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+            return 0
+        table = ComparisonTable("Megafleet catalog")
+        for spec in specs:
+            table.add_row(
+                name=spec.name,
+                lcs=spec.local_controllers,
+                gms=spec.group_managers,
+                duration_s=spec.duration,
+                epoch_s=spec.epoch,
+                description=spec.description,
+            )
+        table.print()
+        return 0
+
+    if args.name is None:
+        parser.error("megafleet run requires a fleet name")
+    try:
+        result = run_megafleet(
+            args.name,
+            seed=args.seed,
+            shards=args.shards,
+            jobs=args.jobs,
+            duration=args.duration,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(result.canonical_json(), end="")
+        return 0
+    table = ComparisonTable(f"Megafleet {args.name} (seed {args.seed})")
+    for key, value in result.totals.items():
+        table.add_row(metric=key, value=value)
+    table.add_row(metric="wall_seconds", value=round(result.wall_seconds, 3))
+    table.add_row(metric="events_per_second", value=round(result.events_per_second))
+    table.print()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -725,6 +801,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_obs(args, parser)
     if args.command == "sweep":
         return _run_sweep_command(args, parser)
+    if args.command == "megafleet":
+        return _run_megafleet_command(args, parser)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -52,7 +52,13 @@ class PhysicalNode:
         self.power_state_name = power_state_name
         #: Hardware class of a heterogeneous fleet (None in homogeneous clusters).
         self.node_class: Optional[str] = None
-        self.state = NodeState.ON
+        #: Change watchers (resident decision-plane rows): callables invoked
+        #: with the node whenever its placement-relevant state moves -- VM set
+        #: changes, any hosted VM's usage write, or a power-state transition.
+        #: A tuple (not a list) so the empty common case costs one truthiness
+        #: check per mutation and registration stays copy-on-write.
+        self._watchers: tuple = ()
+        self._state = NodeState.ON
         self._vms: Dict[int, VirtualMachine] = {}
         #: Cached sum of hosted VM reservations; invalidated whenever the VM
         #: set changes (reservations themselves are immutable after creation).
@@ -68,6 +74,33 @@ class PhysicalNode:
         self.total_vms_hosted = 0
         self.suspend_count = 0
         self.wakeup_count = 0
+
+    # ------------------------------------------------------------- watchers
+    @property
+    def state(self) -> NodeState:
+        """Power / availability state (watched: transitions notify observers)."""
+        return self._state
+
+    @state.setter
+    def state(self, value: NodeState) -> None:
+        self._state = value
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(self)
+
+    def watch(self, callback) -> None:
+        """Register ``callback(node)`` to run after every placement-relevant change."""
+        if callback not in self._watchers:
+            self._watchers = (*self._watchers, callback)
+
+    def unwatch(self, callback) -> None:
+        """Remove a watcher registered with :meth:`watch` (no-op if absent)."""
+        self._watchers = tuple(cb for cb in self._watchers if cb != callback)
+
+    def _notify_watchers(self) -> None:
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(self)
 
     # ------------------------------------------------------------------ VMs
     @property
@@ -149,6 +182,7 @@ class PhysicalNode:
         self._vms[vm.vm_id] = vm
         self._reserved_cache = None
         self._used_cache = None
+        self._notify_watchers()
         vm._host_nodes = (*vm._host_nodes, self)
         vm.mark_started(now, self.node_id)
         self.total_vms_hosted += 1
@@ -161,6 +195,7 @@ class PhysicalNode:
         del self._vms[vm.vm_id]
         self._reserved_cache = None
         self._used_cache = None
+        self._notify_watchers()
         vm._host_nodes = tuple(node for node in vm._host_nodes if node is not self)
         if vm.host_id == self.node_id:
             vm.host_id = None
@@ -173,6 +208,7 @@ class PhysicalNode:
         self._vms.clear()
         self._reserved_cache = None
         self._used_cache = None
+        self._notify_watchers()
         for vm in vms:
             vm._host_nodes = tuple(node for node in vm._host_nodes if node is not self)
         self.idle_since = now

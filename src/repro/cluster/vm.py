@@ -110,6 +110,9 @@ class VirtualMachine:
         self._used = value
         for node in self._host_nodes:
             node._used_cache = None
+            if node._watchers:
+                for watcher in node._watchers:
+                    watcher(node)
 
     @property
     def is_active(self) -> bool:

@@ -25,8 +25,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.simulation.batch import DeadlineHandle, DeadlineTable
 from repro.simulation.engine import Simulator
-from repro.simulation.timers import Timeout
 
 
 class CoordinationError(RuntimeError):
@@ -64,7 +64,7 @@ class Session:
     session_id: int
     owner_name: str
     timeout: float
-    _timer: Optional[Timeout] = field(default=None, repr=False)
+    _timer: Optional[DeadlineHandle] = field(default=None, repr=False)
     expired: bool = False
 
 
@@ -97,7 +97,12 @@ class CoordinationService:
             owner_name=owner_name,
             timeout=float(timeout) if timeout is not None else self.default_session_timeout,
         )
-        session._timer = Timeout(self.sim, session.timeout, self._expire_session, session.session_id)
+        # Pooled deadline: sessions are refreshed on every keeper heartbeat,
+        # and per-refresh Timeout cancellation would leave one heap tombstone
+        # per touch until the stale deadline passes.
+        session._timer = DeadlineTable.shared(self.sim, "zk-sessions").arm(
+            session.timeout, self._expire_session, session.session_id
+        )
         self._sessions[session.session_id] = session
         return session
 
@@ -121,7 +126,8 @@ class CoordinationService:
             return
         session.expired = True
         if session._timer is not None:
-            session._timer.cancel()
+            session._timer.release()
+            session._timer = None
         doomed = [
             path for path, node in self._nodes.items() if node.ephemeral_owner == session_id
         ]

@@ -215,3 +215,35 @@ def placement_from_nodes(nodes: Iterable, vms: Iterable) -> tuple[Placement, lis
         if vm.host_id is not None and vm.host_id in node_index:
             assignment[row] = node_index[vm.host_id]
     return Placement(demands, capacities, assignment), vm_list, node_list
+
+
+def placement_from_view(view, vms: Iterable, rows=None) -> tuple[Placement, list, list]:
+    """Build a :class:`Placement` directly off a ClusterView's resident arrays.
+
+    Same contract as :func:`placement_from_nodes`, but the capacity matrix is
+    taken from ``view.capacities`` (a row gather when ``rows`` restricts the
+    instance to a participant subset) instead of re-reading ``capacity.values``
+    node by node -- the consolidation kernels then run straight off the
+    resident decision-plane arrays (ROADMAP item 5 follow-up).  ``rows`` is a
+    sequence of view row indices; ``None`` means every node in view order.
+    """
+    if rows is None:
+        node_list = list(view.nodes)
+        capacities = np.asarray(view.capacities, dtype=float)
+    else:
+        row_index = np.asarray(list(rows), dtype=np.intp)
+        node_list = [view.nodes[int(row)] for row in row_index]
+        capacities = view.capacities[row_index].astype(float, copy=False)
+    vm_list = list(vms)
+    if not node_list:
+        raise PlacementError("need at least one node to build a placement")
+    if vm_list:
+        demands = np.vstack([vm.used.values for vm in vm_list]).astype(float)
+    else:
+        demands = np.empty((0, capacities.shape[1]))
+    node_index = {node.node_id: i for i, node in enumerate(node_list)}
+    assignment = np.full(len(vm_list), -1, dtype=np.int64)
+    for row, vm in enumerate(vm_list):
+        if vm.host_id is not None and vm.host_id in node_index:
+            assignment[row] = node_index[vm.host_id]
+    return Placement(demands, capacities, assignment), vm_list, node_list

@@ -28,6 +28,25 @@ from repro.simulation.engine import Simulator
 from repro.simulation.timers import PeriodicTimer, Timeout
 
 
+#: Per-simulation registry of heartbeat *leases*: ``(watcher, sender) ->
+#: DeadlineHandle``.  A watcher that arms a failure detector for a peer may
+#: publish the detector's handle here; on a deterministic network the peer
+#: then re-arms it directly at delivery time (send time + base latency)
+#: instead of materializing a heartbeat message per interval -- the unicast
+#: twin of the multicast deadline sink.  Entries are dropped when the watcher
+#: forgets the peer, and a stale handle is inert (generation-checked).
+HEARTBEAT_LEASE_SERVICE = "heartbeat-leases"
+
+
+def heartbeat_leases(sim: Simulator) -> dict:
+    """The shared lease registry (created on first use)."""
+    if sim.has_service(HEARTBEAT_LEASE_SERVICE):
+        return sim.get_service(HEARTBEAT_LEASE_SERVICE)
+    leases: dict = {}
+    sim.register_service(HEARTBEAT_LEASE_SERVICE, leases)
+    return leases
+
+
 class ComponentState(enum.Enum):
     """Lifecycle of a hierarchy component."""
 

@@ -23,7 +23,7 @@ it from dispatching).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.coordination.election import LeaderElection
 from repro.coordination.znodes import CoordinationService
 from repro.energy.accounting import EnergyMeter
 from repro.energy.power_manager import PowerStateManager
-from repro.hierarchy.common import Component
+from repro.hierarchy.common import Component, heartbeat_leases
 from repro.hierarchy.config import HierarchyConfig
 from repro.hierarchy.local_controller import (
     GL_HEARTBEAT_GROUP,
@@ -44,7 +44,7 @@ from repro.metrics.recorder import EventLog
 from repro.monitoring.summary import GroupManagerSummary
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
-from repro.policies import ClusterView
+from repro.policies import DecisionPlane
 from repro.policies.registry import instrument_policy
 from repro.simulation.batch import DeadlineTable
 from repro.simulation.engine import Event, Simulator
@@ -74,6 +74,22 @@ class GroupManager(Component):
         #: where summary_view holds the latest monitoring report's capacity
         #: vectors pre-parsed to arrays (None until the first report arrives).
         self.local_controllers: Dict[str, dict] = {}
+        #: lc_name -> bound ``restart`` of that LC's failure-detector handle.
+        #: The heartbeat hot path is two orders of magnitude more frequent
+        #: than any other GM message; this flat index spares it the record
+        #: dict and handle dereferences (which fall out of cache at fleet
+        #: scale).  Maintained wherever ``record["timeout"]`` changes hands.
+        self._lc_restart: Dict[str, Callable[[], None]] = {}
+        #: Resident decision arrays over this GM's LC nodes: placement views,
+        #: the node->LC index and the join-ordered node list all come from
+        #: here instead of per-event rebuilds (ROADMAP item 2).
+        self.plane = DecisionPlane()
+        #: Cached own-group summary, reused between summary ticks by the
+        #: leader's dispatching path; invalidated on LC join/removal.
+        self._summary_cache: Optional[GroupManagerSummary] = None
+        #: Number of full summary builds (regression-tested: dispatching a
+        #: burst of submissions must not rebuild per submission).
+        self.summary_rebuilds = 0
         # Coalesced failure detection: all of this GM's per-LC (and, as
         # leader, per-GM) heartbeat deadlines live in two deadline arrays with
         # one pending simulator event each, instead of one Timeout per peer.
@@ -115,6 +131,12 @@ class GroupManager(Component):
         self.gm_summaries: Dict[str, GroupManagerSummary] = {}
         #: GMs known to the leader (from their heartbeats), used for LC assignment.
         self.known_gms: set = set()
+        #: Assignments handed to GMs that have not yet sent their first
+        #: summary -- without this a freshly joined GM reads as "0 LCs" and
+        #: captures every concurrently joining LC until its first summary
+        #: arrives (thundering-herd imbalance).  Cleared per GM when the
+        #: summary lands (the summary then carries the real count).
+        self._pending_assignments: Dict[str, int] = {}
         self._gm_timeouts: Dict[str, Timeout] = {}
         self.dispatching_policy = self.config.build_policy("dispatching")
         self.assignment_policy = self.config.build_policy("assignment")
@@ -188,12 +210,19 @@ class GroupManager(Component):
             self.power_manager = None
         for record in self.local_controllers.values():
             self.discard_timeout(record["timeout"])
+        leases = heartbeat_leases(self.sim)
+        for lc_name in self.local_controllers:
+            leases.pop((self.name, lc_name), None)
         self.local_controllers.clear()
+        self._lc_restart.clear()
+        self.plane.clear()
+        self._summary_cache = None
         for timeout in self._gm_timeouts.values():
             self.discard_timeout(timeout)
         self._gm_timeouts.clear()
         self.gm_summaries.clear()
         self.known_gms.clear()
+        self._pending_assignments.clear()
         self.multicast.group(GL_HEARTBEAT_GROUP).unsubscribe(self.name)
 
     # --------------------------------------------------------------- election
@@ -204,7 +233,8 @@ class GroupManager(Component):
         self.log_event("elected_group_leader")
         if self.tracer is not None:
             self.tracer.instant("elected_group_leader", self.name)
-        self.gm_summaries.setdefault(self.name, self._build_summary())
+        if self.name not in self.gm_summaries:
+            self.gm_summaries[self.name] = self._own_summary()
         if self._gl_heartbeat_timer is None:
             self._gl_heartbeat_timer = self.add_timer(
                 self.config.gl_heartbeat_interval, self._gl_heartbeat_tick, start_immediately=True
@@ -318,6 +348,7 @@ class GroupManager(Component):
         self._gm_timeouts.clear()
         self.gm_summaries.clear()
         self.known_gms.clear()
+        self._pending_assignments.clear()
         self.log_event("stepped_down_as_leader")
 
     # ----------------------------------------------------- GL: GM supervision
@@ -339,6 +370,7 @@ class GroupManager(Component):
             return
         self.gm_summaries.pop(gm_name, None)
         self.known_gms.discard(gm_name)
+        self._pending_assignments.pop(gm_name, None)
         timeout = self._gm_timeouts.pop(gm_name, None)
         if timeout is not None:
             self.discard_timeout(timeout)
@@ -352,6 +384,9 @@ class GroupManager(Component):
         summary = GroupManagerSummary.from_payload(message.payload)
         self.gm_summaries[summary.gm_id] = summary
         self.known_gms.add(summary.gm_id)
+        # The summary carries the authoritative LC count; assignments made
+        # while this GM was summary-less are now folded in.
+        self._pending_assignments.pop(summary.gm_id, None)
 
     # --------------------------------------------------------- LC supervision
     def _op_join_lc(self, lc_name: str, node_id: str) -> dict:
@@ -365,6 +400,14 @@ class GroupManager(Component):
             return {"joined": True, "gm": self.name}
         timeout = self._arm_heartbeat_deadline(self._lc_deadlines, self._lc_failed, lc_name)
         self.local_controllers[lc_name] = {"node": node, "summary_view": None, "timeout": timeout}
+        self._lc_restart[lc_name] = timeout.restart
+        if self._lc_deadlines is not None:
+            # Publish the detector handle as a heartbeat lease: on a
+            # deterministic network the LC re-arms it at delivery time
+            # instead of sending a message per heartbeat interval.
+            heartbeat_leases(self.sim)[(self.name, lc_name)] = timeout
+        self.plane.add(lc_name, node)
+        self._summary_cache = None
         if self.power_manager is not None:
             self.power_manager.nodes.append(node)
         self.log_event("lc_joined_gm", lc=lc_name, node=node_id)
@@ -373,8 +416,12 @@ class GroupManager(Component):
     def _lc_failed(self, lc_name: str) -> None:
         """An LC stopped heart-beating: invalidate its contact information (Section II.E)."""
         record = self.local_controllers.pop(lc_name, None)
+        self._lc_restart.pop(lc_name, None)
+        heartbeat_leases(self.sim).pop((self.name, lc_name), None)
         if record is None:
             return
+        self.plane.remove(lc_name)
+        self._summary_cache = None
         self.discard_timeout(record["timeout"])
         if self.power_manager is not None and record["node"] in self.power_manager.nodes:
             self.power_manager.nodes.remove(record["node"])
@@ -383,9 +430,9 @@ class GroupManager(Component):
             self.tracer.instant("lc_failure_detected", self.name, lc=lc_name)
 
     def _on_lc_heartbeat(self, message: Message) -> None:
-        record = self.local_controllers.get(message.sender)
-        if record is not None:
-            record["timeout"].restart()
+        restart = self._lc_restart.get(message.sender)
+        if restart is not None:
+            restart()
 
     def _on_lc_monitoring(self, message: Message) -> None:
         record = self.local_controllers.get(message.sender)
@@ -404,8 +451,12 @@ class GroupManager(Component):
 
     # ------------------------------------------------------------ GM: summary
     def managed_nodes(self) -> List[PhysicalNode]:
-        """The physical nodes of this GM's joined Local Controllers."""
-        return [record["node"] for record in self.local_controllers.values()]
+        """The physical nodes of this GM's joined Local Controllers (join order).
+
+        The list is the decision plane's resident join-ordered list -- no
+        per-event rebuild; callers must not mutate it.
+        """
+        return self.plane.nodes_in_join_order()
 
     def _build_summary(self) -> GroupManagerSummary:
         reports = []
@@ -425,7 +476,22 @@ class GroupManager(Component):
                         "vm_count": node.vm_count,
                     }
                 )
-        return GroupManagerSummary.from_reports(self.name, self.sim.now, reports)
+        summary = GroupManagerSummary.from_reports(self.name, self.sim.now, reports)
+        self.summary_rebuilds += 1
+        self._summary_cache = summary
+        return summary
+
+    def _own_summary(self) -> GroupManagerSummary:
+        """This GM's summary, reusing the last build when still valid.
+
+        The cache is refreshed by every :meth:`_build_summary` call (summary
+        ticks, leader announcements) and invalidated on LC join/removal, so a
+        burst of dispatched submissions reads one summary instead of
+        re-aggregating every LC record per submission.
+        """
+        if self._summary_cache is None:
+            return self._build_summary()
+        return self._summary_cache
 
     def _summary_tick(self) -> None:
         summary = self._build_summary()
@@ -454,11 +520,16 @@ class GroupManager(Component):
                 return len(self.local_controllers)
             if gm in self.gm_summaries:
                 return self.gm_summaries[gm].local_controller_count
-            return 0
+            # A GM that heart-beated but has not yet sent its first summary:
+            # count the assignments already handed to it instead of 0, so K
+            # simultaneous joins spread instead of all piling onto it.
+            return self._pending_assignments.get(gm, 0)
 
         chosen = self.assignment_policy.choose(
             known_gms, {gm: lc_count(gm) for gm in known_gms}
         )
+        if chosen is not None and chosen != self.name and chosen not in self.gm_summaries:
+            self._pending_assignments[chosen] = self._pending_assignments.get(chosen, 0) + 1
         return {"gm": chosen}
 
     # -------------------------------------------------- GL: VM dispatching
@@ -475,7 +546,10 @@ class GroupManager(Component):
             return reply
         self.submissions_dispatched += 1
         summaries = dict(self.gm_summaries)
-        summaries.setdefault(self.name, self._build_summary())
+        if self.name not in summaries:
+            # ``setdefault`` would rebuild the summary eagerly per submission
+            # only to discard it; the cached one serves the rare miss.
+            summaries[self.name] = self._own_summary()
         decision = self.dispatching_policy.decide(vm.requested, summaries)
         if decision.empty:
             self.sim.trigger(
@@ -534,13 +608,10 @@ class GroupManager(Component):
         ctx=None,
     ) -> None:
         exclude = exclude or set()
-        view = ClusterView.from_nodes(
-            [
-                record["node"]
-                for lc_name, record in self.local_controllers.items()
-                if lc_name not in exclude
-            ]
-        )
+        # Resident arrays instead of a per-attempt ``ClusterView.from_nodes``
+        # rebuild; excluded LCs are masked unplaceable, which yields the same
+        # feasible set (and thus the same decision) as omitting their rows.
+        view = self.plane.view(exclude_lcs=exclude)
         decision = self.placement_policy.decide(vm, view)
         chosen = view.node_by_id(decision.node_id) if decision.placed else None
         if chosen is None:
@@ -596,10 +667,8 @@ class GroupManager(Component):
         self._attempt_placement(vm, reply, allow_wakeup=True, exclude=exclude, ctx=ctx)
 
     def _lc_of_node(self, node: PhysicalNode) -> Optional[str]:
-        for lc_name, record in self.local_controllers.items():
-            if record["node"] is node:
-                return lc_name
-        return None
+        """The LC managing ``node`` via the plane's resident index (was an O(n) scan)."""
+        return self.plane.lc_of(node)
 
     # --------------------------------------------------------- GM: relocation
     def _on_overload(self, message: Message) -> None:
@@ -659,12 +728,15 @@ class GroupManager(Component):
         nodes = self.managed_nodes()
         if len(nodes) < 2:
             return
+        # The resident plane arrays, gathered into join order, replace the
+        # per-round ``from_nodes`` snapshot (parity-tested byte-identical).
+        view = self.plane.join_order_view()
         tracer = self.tracer
         if tracer is None:
-            plan = self.reconfiguration_policy.plan(nodes)
+            plan = self.reconfiguration_policy.plan(nodes, view=view)
         else:
             with tracer.span("reconfiguration_plan", self.name, nodes=len(nodes)):
-                plan = self.reconfiguration_policy.plan(nodes)
+                plan = self.reconfiguration_policy.plan(nodes, view=view)
         self.reconfiguration_rounds += 1
         if self.sim.has_service(EnergyMeter.SERVICE_NAME):
             runtime = plan.consolidation_summary.get("runtime_seconds", 0.0)

@@ -26,7 +26,7 @@ from typing import Dict, Optional
 
 from repro.cluster.node import NodeState, PhysicalNode
 from repro.cluster.vm import VirtualMachine, VMState
-from repro.hierarchy.common import Component
+from repro.hierarchy.common import Component, heartbeat_leases
 from repro.hierarchy.config import HierarchyConfig
 from repro.metrics.recorder import EventLog
 from repro.migration.model import MigrationExecutor
@@ -88,6 +88,10 @@ class LocalController(Component):
         self.current_gl: Optional[str] = None
         #: GM heartbeat failure detector (a Timeout or a DeadlineTable handle).
         self._gm_timeout = None
+        #: Heartbeat lease: ``(gm_endpoint, DeadlineHandle)`` of the assigned
+        #: GM's detector for this LC -- when held, heartbeats re-arm it
+        #: directly at delivery time instead of sending a message.
+        self._gm_lease = None
         self._joining = False
         self._last_overload_report = -float("inf")
         self._last_underload_report = -float("inf")
@@ -148,6 +152,7 @@ class LocalController(Component):
         if self.assigned_gm is not None:
             self.multicast.group(gm_heartbeat_group(self.assigned_gm)).unsubscribe(self.name)
         self.assigned_gm = None
+        self._gm_lease = None
 
     def recover(self) -> None:  # noqa: D102 - documented on Component
         self.node.state = NodeState.ON
@@ -210,7 +215,19 @@ class LocalController(Component):
     def _joined(self, gm_name: str) -> None:
         self._joining = False
         self.assigned_gm = gm_name
+        self._gm_lease = None
         self.multicast.group(gm_heartbeat_group(gm_name)).subscribe(self.name)
+        if self._deterministic_network():
+            # An assigned LC only consults the Group Leader channel while
+            # rejoining, yet it is the GL heartbeat's biggest fan-out cost: at
+            # fleet scale thousands of assigned LCs each pay the full delivery
+            # chain every interval just to refresh a field nobody reads.
+            # Pause the subscription (keeping the fan-out slot) and recover
+            # the exact missed value from the channel latch on GM loss.  Only
+            # on deterministic networks: with jitter or loss each delivery
+            # consumes random draws, so skipping deliveries would shift every
+            # subsequent sample in the run.
+            self.multicast.group(GL_HEARTBEAT_GROUP).pause(self.name)
         if self._gm_timeout is not None:
             # The old detector is never restarted again: release its entry.
             self.discard_timeout(self._gm_timeout)
@@ -222,6 +239,36 @@ class LocalController(Component):
                 self.config.heartbeat_timeout,
                 self._gm_lost,
             )
+            if self._deterministic_network() and (
+                self.config.heartbeat_timeout
+                > self.config.gm_heartbeat_interval + self.network.config.base_latency
+            ):
+                # The GM heartbeat handler does exactly one thing: restart
+                # this detector.  Register the detector as the channel's
+                # deadline sink and pause the subscription -- each GM publish
+                # then re-arms it (to delivery time + timeout, the very
+                # deadline the handler would have set) in one vectorized
+                # table write shared with every sibling LC, instead of a
+                # message, a delivery and a handler call per LC per interval.
+                # Requires timeout > interval + latency so the detector can
+                # never expire between a publish and its delivery instant --
+                # the one window where restart-at-publish and
+                # restart-at-delivery could disagree.
+                self.multicast.group(gm_heartbeat_group(gm_name)).pause(
+                    self.name, deadline=self._gm_timeout
+                )
+            if (
+                self._deterministic_network()
+                and self.config.heartbeat_timeout
+                > self.config.lc_heartbeat_interval + self.network.config.base_latency
+            ):
+                # Symmetric fast path for the reverse direction: the GM
+                # published its detector for this LC as a heartbeat lease, so
+                # our periodic heartbeat can re-arm it at delivery time
+                # instead of sending a message (see ``_send_heartbeat``).
+                handle = heartbeat_leases(self.sim).get((gm_name, self.name))
+                if handle is not None:
+                    self._gm_lease = (self.network.endpoint(gm_name), handle)
         else:
             self._gm_timeout = self.add_timeout(self.config.heartbeat_timeout, self._gm_lost)
         if self._rejoin_span is not None:
@@ -233,8 +280,28 @@ class LocalController(Component):
     def _join_failed(self) -> None:
         self._joining = False
 
+    def _deterministic_network(self) -> bool:
+        config = self.network.config
+        return (
+            self.network.batch_delivery
+            and config.jitter == 0
+            and config.loss_probability == 0
+        )
+
     def _gm_lost(self) -> None:
         """The assigned GM's heartbeats stopped: rejoin the hierarchy (Section II.E)."""
+        self._gm_lease = None
+        gl_group = self.multicast.group(GL_HEARTBEAT_GROUP)
+        if gl_group.is_paused(self.name):
+            # Catch up on the Group Leader heartbeats skipped while paused:
+            # the latch yields exactly the (sender, payload) the last
+            # delivered heartbeat would have carried, so ``current_gl`` is
+            # byte-for-byte what an uninterrupted subscription would hold.
+            latched = gl_group.last_delivered(self.sim.now, self.network.config.base_latency)
+            if latched is not None:
+                sender, payload = latched
+                self.current_gl = payload.get("gl") if payload else sender
+            gl_group.resume(self.name)
         if self.assigned_gm is not None:
             self.log_event("gm_lost", gm=self.assigned_gm)
             if self.tracer is not None:
@@ -258,6 +325,18 @@ class LocalController(Component):
     def _send_heartbeat(self) -> None:
         if self.assigned_gm is None:
             return
+        lease = self._gm_lease
+        if lease is not None:
+            # Deterministic fast path: re-arm the GM's detector for this LC
+            # to delivery time + timeout -- the exact deadline its
+            # ``_on_lc_heartbeat`` would set on receipt -- and skip the
+            # message entirely.  Mirror the transport's drop rules: a
+            # disconnected sender's send, or a delivery to a disconnected
+            # GM, would never have restarted the detector.
+            gm_endpoint, handle = lease
+            if self.endpoint.connected and gm_endpoint is not None and gm_endpoint.connected:
+                handle.restart_later(self.sim.now + self.network.config.base_latency)
+            return
         self.network.send(
             Message(
                 msg_type=MessageType.LC_HEARTBEAT,
@@ -266,6 +345,7 @@ class LocalController(Component):
                 payload=self._heartbeat_payload,
             ),
             size_bytes=128,
+            sender=self.endpoint,
         )
 
     # ------------------------------------------------------------- monitoring
@@ -291,6 +371,7 @@ class LocalController(Component):
                     payload=report,
                 ),
                 size_bytes=1024,
+                sender=self.endpoint,
             )
         self._detect_anomalies(report)
 
@@ -382,8 +463,19 @@ class LocalController(Component):
             # Exact-expiry departure so churn does not quantize to the
             # monitoring interval (remaining = runtime minus time already run,
             # e.g. zero remaining after a failed-then-recovered placement).
+            # Departures pool into a shared deadline table: one pending
+            # simulator event instead of one heap entry per running VM (a
+            # churny fleet otherwise drags thousands of pending departures
+            # through every heap operation), and ``release_on_fire`` recycles
+            # each entry the moment it fires since nobody holds the handle.
             elapsed = self.sim.now - vm.start_time if vm.start_time is not None else 0.0
-            self.sim.schedule(max(vm.runtime - elapsed, 0.0), self._depart_vm, vm)
+            remaining = max(vm.runtime - elapsed, 0.0)
+            if remaining > 0:
+                DeadlineTable.shared(self.sim, "vm-departures").arm(
+                    remaining, self._depart_vm, vm, release_on_fire=True
+                )
+            else:
+                self.sim.schedule(0.0, self._depart_vm, vm)
         self.log_event("vm_started", vm=vm.name)
         return {"accepted": True, "node_id": self.node.node_id}
 

@@ -38,7 +38,7 @@ from repro.network.multicast import MulticastRegistry
 from repro.network.transport import Network
 from repro.obs import ObservabilityPlane
 from repro.simulation.batch import CoalescedTicker
-from repro.simulation.engine import Simulator
+from repro.simulation.engine import Simulator, schedule_series
 from repro.simulation.randomness import RandomRouter
 from repro.workloads.generator import VMRequest
 
@@ -221,12 +221,18 @@ class SnoozeSystem:
         requests: Sequence[VMRequest],
         on_complete: Optional[Callable[[SubmissionRecord], None]] = None,
     ) -> None:
-        """Schedule client submissions at their arrival times (relative to now)."""
+        """Schedule client submissions at their arrival times (relative to now).
+
+        Only the next arrival occupies the event heap at any time (see
+        :func:`~repro.simulation.engine.schedule_series`); firing order is
+        identical to pre-scheduling one event per request.
+        """
         base = self.sim.now
-        for request in requests:
-            self.sim.schedule_at(
-                base + request.arrival_time, self.client.submit, request.vm, on_complete
-            )
+        schedule_series(
+            self.sim,
+            [(base + request.arrival_time, request.vm) for request in requests],
+            lambda vm: self.client.submit(vm, on_complete),
+        )
 
     # --------------------------------------------------------------- topology
     def current_leader(self) -> Optional[str]:

@@ -1,0 +1,366 @@
+"""Sharded lockstep execution of megafleet specs.
+
+The object-level simulator pays Python per event; at 100k Local Controllers
+even a flat per-event cost is billions of interpreter operations.  This engine
+keeps the Snooze *decision plane* semantics -- per-GM groups placing VMs
+locally, a Group-Leader coordinator dispatching arrivals from group summaries
+-- but represents each group as resident numpy arrays (the same shape as the
+hierarchy's :class:`~repro.policies.plane.DecisionPlane`) and advances the
+fleet in **lockstep epochs**:
+
+1. At an epoch boundary the coordinator draws the epoch's VM arrivals from its
+   own named stream and dispatches each to a group, least-loaded over the
+   latest group summaries with a running pending-demand correction (the same
+   thundering-herd fix the live Group Leader applies between summaries).
+2. Every *shard* (a contiguous slice of groups) advances its groups through
+   the epoch independently: departures free capacity, arrivals place
+   first-fit over the group's arrays, monitoring rows refresh vectorized.
+   Shards run across a multiprocessing pool via the generalized sweeps
+   executors (:func:`repro.sweeps.executor.make_executor`).
+3. Group summaries flow back to the coordinator -- the only inter-shard
+   messages, exchanged only at epoch boundaries.
+
+Determinism is the sweeps/colonies discipline: randomness is derived *before*
+the fan-out (one ``SeedSequence`` child per **group**, plus a coordinator
+stream; per-epoch generators are re-derived from ``(group child, epoch)``), a
+group's advance depends only on its own state, arrivals and stream, and shard
+outputs merge in group order.  Results are therefore byte-identical for any
+``shards`` and ``jobs`` count -- asserted by the canonical-JSON tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.megafleet.spec import MegafleetSpec, get_megafleet
+from repro.simulation.randomness import spawn_generator, spawn_seed_sequences
+from repro.sweeps.executor import make_executor
+
+#: Feasibility tolerance, matching ``ClusterView``/``ResourceVector``.
+FIT_TOLERANCE = 1e-9
+
+
+# -------------------------------------------------------------- group state
+def _new_group(gid: int, n_lcs: int, spec: MegafleetSpec, seed: np.random.SeedSequence) -> dict:
+    """Fresh picklable state for one Group Manager's LC arrays."""
+    d = len(spec.dimensions)
+    capacity = np.tile(np.asarray(spec.node_capacity, dtype=float), (n_lcs, 1))
+    return {
+        "gid": int(gid),
+        "capacities": capacity,
+        "reserved": np.zeros((n_lcs, d), dtype=float),
+        "used": np.zeros((n_lcs, d), dtype=float),
+        "vm_req": np.empty((0, d), dtype=float),
+        "vm_host": np.empty(0, dtype=np.int64),
+        "vm_depart": np.empty(0, dtype=float),
+        "seed_entropy": seed.entropy,
+        "seed_spawn_key": tuple(int(k) for k in seed.spawn_key),
+        "placements": 0,
+        "rejections": 0,
+        "departures": 0,
+        "events": 0,
+    }
+
+
+def _advance_group(
+    group: dict,
+    arrivals_req: np.ndarray,
+    arrivals_life: np.ndarray,
+    epoch_index: int,
+    epoch_start: float,
+    epoch_end: float,
+    spec_view: dict,
+) -> dict:
+    """Advance one group through one epoch (pure function of its inputs).
+
+    Event order inside the epoch is fixed: departures due this epoch free
+    capacity first, then arrivals place first-fit in dispatch order, then the
+    monitoring rows refresh.  The per-epoch generator is re-derived from the
+    group's seed child and the epoch index, so the stream consumed here is
+    independent of how groups are packed into shards.
+    """
+    reserved = group["reserved"]
+    capacities = group["capacities"]
+    vm_req, vm_host, vm_depart = group["vm_req"], group["vm_host"], group["vm_depart"]
+
+    # 1. Departures due by the end of this epoch release their reservations.
+    departing = vm_depart <= epoch_end
+    n_departing = int(np.count_nonzero(departing))
+    if n_departing:
+        np.add.at(reserved, vm_host[departing], -vm_req[departing])
+        np.clip(reserved, 0.0, None, out=reserved)
+        keep = ~departing
+        vm_req, vm_host, vm_depart = vm_req[keep], vm_host[keep], vm_depart[keep]
+
+    # 2. Arrivals place first-fit (lowest LC row with room), like the
+    #    hierarchy's FirstFitPlacement over the group's resident view.
+    placed_rows: List[int] = []
+    placed_req: List[np.ndarray] = []
+    placed_depart: List[float] = []
+    rejections = 0
+    for row in range(arrivals_req.shape[0]):
+        demand = arrivals_req[row]
+        fits = np.all(reserved + demand <= capacities + FIT_TOLERANCE, axis=1)
+        hit = int(np.argmax(fits)) if fits.any() else -1
+        if hit < 0:
+            rejections += 1
+            continue
+        reserved[hit] += demand
+        placed_rows.append(hit)
+        placed_req.append(demand)
+        placed_depart.append(epoch_end + float(arrivals_life[row]))
+    if placed_rows:
+        vm_req = np.concatenate([vm_req, np.asarray(placed_req, dtype=float)])
+        vm_host = np.concatenate([vm_host, np.asarray(placed_rows, dtype=np.int64)])
+        vm_depart = np.concatenate([vm_depart, np.asarray(placed_depart, dtype=float)])
+
+    # 3. Monitoring: per-LC usage rows refresh once per monitoring tick,
+    #    vectorized over the whole group (the TelemetryPlane idiom).
+    ticks = max(1, int(round((epoch_end - epoch_start) / spec_view["monitoring_interval"])))
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=group["seed_entropy"],
+            spawn_key=(*group["seed_spawn_key"], int(epoch_index)),
+        )
+    )
+    used = reserved.copy()
+    cpu = 0
+    for _tick in range(ticks):
+        fractions = rng.uniform(spec_view["usage_low"], spec_view["usage_high"], vm_req.shape[0])
+        cpu_used = np.zeros(capacities.shape[0], dtype=float)
+        if vm_req.shape[0]:
+            np.add.at(cpu_used, vm_host, vm_req[:, cpu] * fractions)
+        used[:, cpu] = cpu_used
+
+    group["reserved"] = reserved
+    group["used"] = used
+    group["vm_req"], group["vm_host"], group["vm_depart"] = vm_req, vm_host, vm_depart
+    group["placements"] += len(placed_rows)
+    group["rejections"] += rejections
+    group["departures"] += n_departing
+    # Processed state updates this epoch: VM lifecycle operations plus one
+    # monitoring row per LC per tick plus the boundary summary message.
+    group["events"] += (
+        n_departing + len(placed_rows) + rejections + capacities.shape[0] * ticks + 1
+    )
+    return group
+
+
+def _group_summary(group: dict) -> dict:
+    """The epoch-boundary summary a group sends the coordinator."""
+    free = np.clip(group["capacities"] - group["reserved"], 0.0, None)
+    return {
+        "gid": group["gid"],
+        "lcs": int(group["capacities"].shape[0]),
+        "vms": int(group["vm_req"].shape[0]),
+        "free_cpu": float(free[:, 0].sum()),
+    }
+
+
+def advance_shard(payload: Dict[str, object]) -> Dict[str, object]:
+    """Advance every group of one shard through one epoch (executor worker).
+
+    Module-level and dict-in/dict-out, so it runs identically under the
+    serial executor and a multiprocessing pool (fork or spawn).
+    """
+    groups = payload["groups"]
+    arrivals = payload["arrivals"]
+    out_groups = []
+    summaries = []
+    for group in groups:
+        gid = group["gid"]
+        arrivals_req, arrivals_life = arrivals[gid]
+        group = _advance_group(
+            group,
+            np.asarray(arrivals_req, dtype=float),
+            np.asarray(arrivals_life, dtype=float),
+            payload["epoch_index"],
+            payload["epoch_start"],
+            payload["epoch_end"],
+            payload["spec_view"],
+        )
+        out_groups.append(group)
+        summaries.append(_group_summary(group))
+    return {"groups": out_groups, "summaries": summaries}
+
+
+# ------------------------------------------------------------------- results
+class MegafleetResult:
+    """Deterministic run outcome plus (excluded) wall-clock measurements."""
+
+    def __init__(
+        self,
+        spec: MegafleetSpec,
+        seed: int,
+        totals: dict,
+        per_group: List[dict],
+        wall_seconds: float,
+    ) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self.totals = totals
+        self.per_group = per_group
+        #: Wall-clock of the run; NOT part of the canonical serialization.
+        self.wall_seconds = float(wall_seconds)
+
+    def to_dict(self) -> dict:
+        """The deterministic result payload (identical for any shards/jobs)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "totals": dict(self.totals),
+            "per_group": [dict(entry) for entry in self.per_group],
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization (the sweeps/scenario discipline)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @property
+    def events(self) -> int:
+        """Total processed state updates across the run."""
+        return int(self.totals["events"])
+
+    @property
+    def events_per_second(self) -> float:
+        """Throughput of the run (processed updates / wall)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+
+# -------------------------------------------------------------- coordinator
+class ShardedFleetSimulator:
+    """Lockstep coordinator over sharded per-GM group states."""
+
+    def __init__(self, spec: MegafleetSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+
+    def run(self, shards: int = 1, jobs: int = 1) -> MegafleetResult:
+        """Run the fleet; byte-identical for any ``shards``/``jobs`` count."""
+        spec = self.spec
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        shards = min(int(shards), spec.group_managers)
+        # Seeds are per *group*, spawned before any fan-out, so repacking
+        # groups into a different shard count cannot move any stream.
+        group_seeds = spawn_seed_sequences(self.seed, spec.group_managers)
+        groups = [
+            _new_group(gid, n_lcs, spec, group_seeds[gid])
+            for gid, n_lcs in enumerate(spec.group_sizes())
+        ]
+        # The coordinator's arrival stream is the next child after the groups.
+        arrival_rng = spawn_generator(self.seed, spec.group_managers)
+        spec_view = {
+            "monitoring_interval": spec.monitoring_interval,
+            "usage_low": spec.usage_low,
+            "usage_high": spec.usage_high,
+        }
+        summaries = {
+            group["gid"]: _group_summary(group) for group in groups
+        }
+        executor = make_executor(jobs, fn=advance_shard)
+        shard_slices = np.array_split(np.arange(spec.group_managers), shards)
+        d = len(spec.dimensions)
+        node_capacity = np.asarray(spec.node_capacity, dtype=float)
+        dispatch_rejections = 0
+        started = time.perf_counter()
+
+        for epoch_index in range(spec.n_epochs):
+            epoch_start = epoch_index * spec.epoch
+            epoch_end = epoch_start + spec.epoch
+
+            # --- coordinator: draw and dispatch this epoch's arrivals.
+            n_arrivals = int(arrival_rng.poisson(spec.arrivals_per_epoch))
+            demands = (
+                arrival_rng.uniform(spec.vm_demand_low, spec.vm_demand_high, (n_arrivals, d))
+                * node_capacity
+            )
+            lifetimes = arrival_rng.exponential(spec.vm_lifetime_mean, n_arrivals)
+            projected_free = np.asarray(
+                [summaries[gid]["free_cpu"] for gid in range(spec.group_managers)],
+                dtype=float,
+            )
+            arrivals: Dict[int, list] = {
+                gid: [[], []] for gid in range(spec.group_managers)
+            }
+            for row in range(n_arrivals):
+                cpu_demand = float(demands[row, 0])
+                target = int(np.argmax(projected_free))
+                if projected_free[target] < cpu_demand:
+                    dispatch_rejections += 1
+                    continue
+                projected_free[target] -= cpu_demand
+                arrivals[target][0].append(demands[row])
+                arrivals[target][1].append(float(lifetimes[row]))
+
+            # --- shards advance in lockstep across the executor.
+            payloads = []
+            for rows in shard_slices:
+                gids = [int(gid) for gid in rows]
+                payloads.append(
+                    {
+                        "groups": [groups[gid] for gid in gids],
+                        "arrivals": {
+                            gid: (
+                                np.asarray(arrivals[gid][0], dtype=float).reshape(-1, d),
+                                np.asarray(arrivals[gid][1], dtype=float),
+                            )
+                            for gid in gids
+                        },
+                        "epoch_index": epoch_index,
+                        "epoch_start": epoch_start,
+                        "epoch_end": epoch_end,
+                        "spec_view": spec_view,
+                    }
+                )
+            outcomes = executor.map(payloads)
+
+            # --- epoch boundary: merge group states and exchange summaries.
+            for outcome in outcomes:
+                for group, summary in zip(outcome["groups"], outcome["summaries"]):
+                    groups[group["gid"]] = group
+                    summaries[summary["gid"]] = summary
+
+        wall = time.perf_counter() - started
+        totals = {
+            "epochs": spec.n_epochs,
+            "events": int(sum(group["events"] for group in groups)),
+            "placements": int(sum(group["placements"] for group in groups)),
+            "rejections": int(sum(group["rejections"] for group in groups)),
+            "dispatch_rejections": int(dispatch_rejections),
+            "departures": int(sum(group["departures"] for group in groups)),
+            "vms_running": int(sum(group["vm_req"].shape[0] for group in groups)),
+        }
+        per_group = [
+            {
+                **_group_summary(group),
+                "placements": group["placements"],
+                "rejections": group["rejections"],
+                "departures": group["departures"],
+            }
+            for group in groups
+        ]
+        return MegafleetResult(spec, self.seed, totals, per_group, wall)
+
+
+def run_megafleet(
+    name_or_spec, seed: int = 0, shards: int = 1, jobs: int = 1,
+    duration: Optional[float] = None,
+) -> MegafleetResult:
+    """Run a catalog fleet (or an explicit spec) through the sharded engine."""
+    spec = (
+        name_or_spec
+        if isinstance(name_or_spec, MegafleetSpec)
+        else get_megafleet(str(name_or_spec))
+    )
+    if duration is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, duration=float(duration))
+    return ShardedFleetSimulator(spec, seed=seed).run(shards=shards, jobs=jobs)

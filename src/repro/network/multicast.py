@@ -14,7 +14,8 @@ Local Controllers).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
@@ -34,6 +35,17 @@ class MulticastGroup:
         #: Number of publish calls (for overhead accounting).
         self.publish_count = 0
         self._publish_metric = None
+        #: Members with delivery paused (see :meth:`pause`); they keep their
+        #: slot in ``_subscribers`` so resuming restores the exact fan-out
+        #: order a continuously subscribed member would have had.
+        self._paused: set = set()
+        #: Recent publishes ``(time, sender, payload)`` -- the latch a paused
+        #: member reads to observe exactly what a delivery would have told it.
+        self._latch: deque = deque(maxlen=8)
+        #: Paused members whose only interest in the channel is restarting a
+        #: failure detector: ``name -> (endpoint, deadline_handle)``.  Each
+        #: publish re-arms them in one vectorized call instead of a delivery.
+        self._deadline_sinks: Dict[str, Tuple[Any, Any]] = {}
 
     # ---------------------------------------------------------- subscription
     def subscribe(self, endpoint_name: str) -> None:
@@ -47,6 +59,59 @@ class MulticastGroup:
         if endpoint_name in self._subscriber_set:
             self._subscriber_set.discard(endpoint_name)
             self._subscribers.remove(endpoint_name)
+            self._paused.discard(endpoint_name)
+            self._deadline_sinks.pop(endpoint_name, None)
+
+    # --------------------------------------------------------- paused members
+    def pause(self, endpoint_name: str, deadline=None) -> None:
+        """Stop delivering to a member without giving up its fan-out slot.
+
+        A paused member stays in the subscriber list (so :meth:`resume`
+        restores the exact same-instant delivery order an uninterrupted
+        subscription would have produced) but receives no messages; it can
+        observe missed publishes through :meth:`last_delivered`.  The steady
+        state of a fleet-scale deployment is thousands of Local Controllers
+        subscribed to a Group Leader channel they only consult while
+        *rejoining* -- pausing them removes that entire fan-out from the per-
+        heartbeat hot path without changing what any component ever reads.
+
+        ``deadline`` registers a *deadline sink*: a
+        :class:`~repro.simulation.batch.DeadlineHandle` whose entry each
+        publish re-arms to delivery time (publish time + base latency) plus
+        its duration -- the exact deadline the member's handler would have
+        set on receipt.  That turns a heartbeat fan-out whose every listener
+        only restarts a failure detector into one vectorized table write per
+        publish.  Members whose endpoint is disconnected at publish time are
+        skipped, mirroring their deliveries being dropped.
+        """
+        if endpoint_name in self._subscriber_set:
+            self._paused.add(endpoint_name)
+            if deadline is not None:
+                endpoint = self.network.endpoint(endpoint_name)
+                self._deadline_sinks[endpoint_name] = (endpoint, deadline)
+
+    def resume(self, endpoint_name: str) -> None:
+        """Resume deliveries to a paused member (idempotent)."""
+        self._paused.discard(endpoint_name)
+        self._deadline_sinks.pop(endpoint_name, None)
+
+    def is_paused(self, endpoint_name: str) -> bool:
+        """True if the member is subscribed but currently paused."""
+        return endpoint_name in self._paused
+
+    def last_delivered(self, now: float, latency: float) -> Optional[Tuple[str, Any]]:
+        """``(sender, payload)`` of the latest publish already delivered.
+
+        "Delivered" means ``publish_time + latency <= now`` -- on a
+        deterministic network that is precisely the publish whose message a
+        subscribed member would have processed last (same-instant deliveries
+        run at high priority, before any equal-time timer/deadline event).
+        Returns None when nothing qualifies.
+        """
+        for time, sender, payload in reversed(self._latch):
+            if time + latency <= now:
+                return sender, payload
+        return None
 
     @property
     def subscribers(self) -> List[str]:
@@ -79,17 +144,49 @@ class MulticastGroup:
                 ).labels(group=self.group_name)
         if self._publish_metric is not None:
             self._publish_metric.inc()
-        fanout = 0
-        send = self.network.send
-        for subscriber in list(self._subscribers):
-            if subscriber == sender:
+        self._latch.append((self.network.sim.now, sender, payload))
+        paused = self._paused
+        if paused:
+            messages = [
+                Message(msg_type=msg_type, sender=sender, recipient=subscriber, payload=payload)
+                for subscriber in self._subscribers
+                if subscriber != sender and subscriber not in paused
+            ]
+            if self._deadline_sinks and self.network.is_connected(sender):
+                self._restart_deadline_sinks()
+        else:
+            messages = [
+                Message(msg_type=msg_type, sender=sender, recipient=subscriber, payload=payload)
+                for subscriber in self._subscribers
+                if subscriber != sender
+            ]
+        self.network.send_many(sender, messages, size_bytes=size_bytes)
+        return len(messages)
+
+    def _restart_deadline_sinks(self) -> None:
+        """Re-arm every connected sink's failure detector at delivery time.
+
+        Handles are collected in subscriber (fan-out) order, so the restart
+        stamps -- the tie-break for simultaneous expiries -- match what the
+        per-delivery restarts of an unpaused fan-out would have produced.
+        """
+        base = self.network.sim.now + self.network.config.base_latency
+        sinks = self._deadline_sinks
+        tables: Dict[int, Tuple[Any, List[Any]]] = {}
+        for name in self._subscribers:
+            sink = sinks.get(name)
+            if sink is None:
                 continue
-            send(
-                Message(msg_type=msg_type, sender=sender, recipient=subscriber, payload=payload),
-                size_bytes=size_bytes,
-            )
-            fanout += 1
-        return fanout
+            endpoint, handle = sink
+            if endpoint is None or not endpoint.connected:
+                continue  # its delivery would have been dropped
+            entry = tables.get(id(handle.table))
+            if entry is None:
+                tables[id(handle.table)] = (handle.table, [handle])
+            else:
+                entry[1].append(handle)
+        for table, handles in tables.values():
+            table.restart_handles(handles, base)
 
     def __repr__(self) -> str:
         return f"<MulticastGroup {self.group_name} subscribers={len(self._subscribers)}>"

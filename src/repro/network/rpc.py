@@ -19,8 +19,8 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.network.message import Message, MessageType
 from repro.network.transport import Network
+from repro.simulation.batch import DeadlineTable
 from repro.simulation.engine import Event
-from repro.simulation.timers import Timeout
 
 
 class RpcError(RuntimeError):
@@ -42,6 +42,7 @@ class RpcChannel:
         self.owner_name = owner_name
         self._operations: Dict[str, Callable[..., Any]] = {}
         self._pending: Dict[int, dict] = {}
+        self._timeout_table: Optional[DeadlineTable] = None
 
     # -------------------------------------------------------------- serve side
     def register_operation(self, name: str, handler: Callable[..., Any]) -> None:
@@ -135,14 +136,27 @@ class RpcChannel:
         }
         self._pending[correlation_id] = record
         if timeout is not None and timeout > 0:
-            record["timer"] = Timeout(self.sim, timeout, self._expire, correlation_id)
+            # A pooled deadline instead of a per-call heap event: almost every
+            # call completes (reply cancels the timer), and per-event Timeout
+            # cancellation leaves a tombstone in the event heap until the
+            # deadline passes -- at fleet scale thousands of them at any
+            # instant, growing every heap operation's log factor.
+            record["timer"] = self._timeouts().arm(timeout, self._expire, correlation_id)
         self.network.send(message)
         return correlation_id
+
+    def _timeouts(self) -> DeadlineTable:
+        table = self._timeout_table
+        if table is None:
+            table = self._timeout_table = DeadlineTable.shared(self.sim, "rpc-timeouts")
+        return table
 
     def _expire(self, correlation_id: int) -> None:
         record = self._pending.pop(correlation_id, None)
         if record is None:
             return
+        if record["timer"] is not None:
+            record["timer"].release()
         if record["on_timeout"] is not None:
             record["on_timeout"]()
 
@@ -152,7 +166,7 @@ class RpcChannel:
             # Late reply after timeout: ignore (the caller already moved on).
             return
         if record["timer"] is not None:
-            record["timer"].cancel()
+            record["timer"].release()
         payload = message.payload or {}
         if payload.get("ok"):
             if record["on_reply"] is not None:
@@ -171,5 +185,5 @@ class RpcChannel:
         """Drop all outstanding calls without firing callbacks (owner crashed)."""
         for record in self._pending.values():
             if record["timer"] is not None:
-                record["timer"].cancel()
+                record["timer"].release()
         self._pending.clear()

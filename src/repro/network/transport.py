@@ -146,20 +146,32 @@ class Network:
             endpoint.connected = True
 
     # ------------------------------------------------------------------ send
-    def send(self, message: Message, size_bytes: int = 512) -> bool:
+    def send(
+        self,
+        message: Message,
+        size_bytes: int = 512,
+        sender: Optional[Endpoint] = None,
+    ) -> bool:
         """Send a unicast message; returns False if it was dropped immediately.
 
         Immediate drops happen when the sender is disconnected or the message
         is lost; an existing-but-disconnected *recipient* is only discovered at
         delivery time (the sender cannot know), matching real UDP/TCP-on-LAN
         behaviour closely enough for the protocols involved.
+
+        ``sender`` lets a component pass its own registered :class:`Endpoint`
+        and skip the directory probe -- at fleet scale the directory holds
+        thousands of entries and the per-send hash probe stops being
+        cache-resident, so the highest-rate senders (heartbeats, monitoring
+        reports) resolve themselves once at registration instead.
         """
         self.messages_sent += 1
         self.bytes_sent += int(size_bytes)
         tracer = self._tracer
         if tracer is not None and message.trace_ctx is None:
             message.trace_ctx = tracer.current
-        sender = self._endpoints.get(message.sender)
+        if sender is None:
+            sender = self._endpoints.get(message.sender)
         if sender is not None:
             sender.sent_count += 1
             if not sender.connected:
@@ -194,12 +206,81 @@ class Network:
         self.sim.schedule(latency, self._deliver, message, priority=Simulator.PRIORITY_HIGH)
         return True
 
-    def _deliver_batch(self, batch: List[Message]) -> None:
-        for message in batch:
-            self._deliver(message)
+    def send_many(self, sender: str, messages: List[Message], size_bytes: int = 512) -> int:
+        """Bulk unicast from one sender: the multicast fan-out fast path.
 
-    def _deliver(self, message: Message) -> None:
-        recipient = self._endpoints.get(message.recipient)
+        Equivalent to calling :meth:`send` per message (same counters, same
+        stamps, same delivery batching and order), but the per-message sender
+        lookup, connectivity check and config reads are hoisted out of the
+        loop -- at fleet scale a Group Leader heartbeat fans out to thousands
+        of subscribers, and those dictionary probes dominated the publish.
+        Falls back to :meth:`send` on lossy/jittery networks, where each
+        message needs its own random draws.
+        """
+        n = len(messages)
+        if n == 0:
+            return 0
+        config = self.config
+        if config.loss_probability > 0 or config.jitter > 0 or not self.batch_delivery:
+            sent = 0
+            for message in messages:
+                sent += 1 if self.send(message, size_bytes=size_bytes) else 0
+            return sent
+        self.messages_sent += n
+        self.bytes_sent += int(size_bytes) * n
+        tracer = self._tracer
+        if tracer is not None:
+            ctx = tracer.current
+            for message in messages:
+                if message.trace_ctx is None:
+                    message.trace_ctx = ctx
+        endpoint = self._endpoints.get(sender)
+        if endpoint is not None:
+            endpoint.sent_count += n
+            if not endpoint.connected:
+                self.messages_dropped += n
+                return 0
+        now = self.sim.now
+        for message in messages:
+            message.sent_at = now
+        if (
+            self._open_batch is not None
+            and self._open_batch_time == now
+            and self._open_batch_event is not None
+            and self._open_batch_event.pending
+        ):
+            self._open_batch.extend(messages)
+            return n
+        batch: List[Message] = list(messages)
+        self._open_batch = batch
+        self._open_batch_time = now
+        self._open_batch_event = self.sim.schedule(
+            config.base_latency, self._deliver_batch, batch, priority=Simulator.PRIORITY_HIGH
+        )
+        return n
+
+    def _deliver_batch(self, batch: List[Message]) -> None:
+        # Batch-local recipient memo: a same-instant batch at fleet scale
+        # carries thousands of messages to a few dozen recipients (every LC's
+        # heartbeat to its GM, say), and each probe of the full endpoint
+        # directory walks a dictionary too large to stay cache-resident.
+        # Connectivity is still read per message from the endpoint object, so
+        # a handler disconnecting an endpoint mid-batch drops the rest of its
+        # traffic exactly as per-message resolution did.
+        resolved: Dict[str, Optional[Endpoint]] = {}
+        endpoints_get = self._endpoints.get
+        resolved_get = resolved.get
+        for message in batch:
+            name = message.recipient
+            recipient = resolved_get(name)
+            if recipient is None and name not in resolved:
+                recipient = endpoints_get(name)
+                resolved[name] = recipient
+            self._deliver(message, recipient)
+
+    def _deliver(self, message: Message, recipient: Optional[Endpoint] = None) -> None:
+        if recipient is None:
+            recipient = self._endpoints.get(message.recipient)
         if recipient is None or not recipient.connected:
             self.messages_dropped += 1
             return

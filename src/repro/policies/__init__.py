@@ -38,6 +38,7 @@ from repro.policies.registry import (
     register_policy,
 )
 from repro.policies.view import ClusterView
+from repro.policies.plane import DecisionPlane
 from repro.policies.decisions import DispatchDecision, MigrationPlan, PlacementDecision
 from repro.policies.thresholds import LoadBand, UtilizationThresholds
 from repro.policies.placement import (
@@ -80,6 +81,7 @@ __all__ = [
     "policy_names",
     "iter_policy_specs",
     "ClusterView",
+    "DecisionPlane",
     "PlacementDecision",
     "DispatchDecision",
     "MigrationPlan",

@@ -50,7 +50,7 @@ from repro.core.base import ConsolidationAlgorithm
 from repro.core.distributed_aco import DistributedACOConsolidation
 from repro.core.ffd import BestFitDecreasing, FirstFitDecreasing, WorstFitDecreasing
 from repro.core.migration_plan import plan_migrations
-from repro.core.placement import placement_from_nodes
+from repro.core.placement import placement_from_view
 from repro.policies.decisions import MigrationPlan
 from repro.policies.registry import register_policy
 from repro.policies.thresholds import UtilizationThresholds
@@ -86,16 +86,28 @@ class ReconfigurationPolicy:
         self._node_signatures: Dict[str, Tuple] = {}
 
     # ------------------------------------------------------------------ run
-    def plan(self, nodes: Sequence[PhysicalNode]) -> MigrationPlan:
-        """Compute a reconfiguration plan over the given Local Controller hosts."""
-        eligible = self._eligible_nodes(nodes)
+    def plan(
+        self, nodes: Sequence[PhysicalNode], view: Optional[ClusterView] = None
+    ) -> MigrationPlan:
+        """Compute a reconfiguration plan over the given Local Controller hosts.
+
+        ``view`` optionally supplies a pre-built snapshot of ``nodes`` *in the
+        same order* (the Group Manager passes its resident decision-plane
+        arrays): the eligibility screen and the consolidation instance are
+        then numpy gathers off those arrays instead of fresh per-node reads,
+        with byte-identical plans (parity-tested).
+        """
+        if view is None:
+            view = ClusterView.from_nodes(nodes, sort_by_id=False)
+        eligible = self._eligible_nodes(view)
         plan = MigrationPlan()
         participants = self._participants(eligible)
         vms: List[VirtualMachine] = [vm for node in participants for vm in node.vms]
         if len(participants) < 2 or not vms:
             return plan
 
-        current, vm_list, node_list = placement_from_nodes(participants, vms)
+        rows = [view.index_of(node.node_id) for node in participants]
+        current, vm_list, node_list = placement_from_view(view, vms, rows=rows)
         plan.hosts_before = current.hosts_used()
 
         result = self._consolidate(current, vm_list, node_list)
@@ -186,13 +198,19 @@ class ReconfigurationPolicy:
         return self.algorithm.consolidate(current)
 
     # -------------------------------------------------------------- selection
-    def _eligible_nodes(self, nodes: Sequence[PhysicalNode]) -> List[PhysicalNode]:
+    def _eligible_nodes(self, nodes) -> List[PhysicalNode]:
         """Powered-on hosts allowed to participate in this round.
 
-        Overload screening is vectorized over the snapshot: hosts above the
-        overload threshold are left to event-based relocation instead.
+        Accepts either a node sequence (snapshotted here, order preserved) or
+        an already-built :class:`ClusterView`.  Overload screening is
+        vectorized over the snapshot: hosts above the overload threshold are
+        left to event-based relocation instead.
         """
-        view = ClusterView.from_nodes(nodes, sort_by_id=False)
+        view = (
+            nodes
+            if isinstance(nodes, ClusterView)
+            else ClusterView.from_nodes(nodes, sort_by_id=False)
+        )
         if len(view) == 0:
             return []
         keep = view.placeable.copy()

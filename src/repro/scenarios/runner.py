@@ -28,6 +28,7 @@ from typing import Dict, Optional
 
 from repro.hierarchy.system import SnoozeSystem
 from repro.scenarios.spec import ScenarioSpec, TimelineEvent
+from repro.simulation.engine import schedule_series
 from repro.traffic.plane import TrafficPlane
 
 #: Priority of scenario submissions relative to timeline events at equal times
@@ -149,10 +150,18 @@ class ScenarioRunner:
         for index, phase in enumerate(self.spec.phases):
             generator = phase.build_generator()
             stream = system.random.stream(f"scenario:{self.spec.name}:phase{index}:{phase.name}")
-            for request in generator.generate(phase.vm_count, stream):
-                system.sim.schedule_at(
-                    base + phase.start + request.arrival_time, system.client.submit, request.vm
-                )
+            # One pending heap entry per phase instead of one per request (a
+            # fleet scenario's thousands of pending arrivals otherwise tax
+            # every heap operation for the whole run); firing order is
+            # identical to pre-scheduling each request.
+            schedule_series(
+                system.sim,
+                [
+                    (base + phase.start + request.arrival_time, request.vm)
+                    for request in generator.generate(phase.vm_count, stream)
+                ],
+                system.client.submit,
+            )
 
     def _schedule_timeline(self, system: SnoozeSystem, base: float) -> None:
         for event in self.spec.timeline:

@@ -211,6 +211,18 @@ class DeadlineHandle:
             raise SimulationError("deadline handle was released")
         self.table._restart(self.index, duration)
 
+    def restart_later(self, base: float) -> None:
+        """Re-arm to ``base + duration``, where ``base`` may lie in the future.
+
+        The unicast twin of :meth:`DeadlineTable.restart_handles`: a
+        heartbeat *sender* re-arms its peer's failure detector at delivery
+        time (send time + latency) without materializing the message.  A
+        released or recycled handle is skipped silently -- exactly as the
+        peer dropping the delivery of an already-forgotten sender would be.
+        """
+        if self._valid():
+            self.table._restart(self.index, None, base)
+
     def cancel(self) -> None:
         """Disarm without firing (idempotent; the entry stays claimable via restart)."""
         if self._valid():
@@ -255,8 +267,9 @@ class DeadlineTable:
         self._expired = np.zeros(0, dtype=bool)
         self._order = np.zeros(0, dtype=np.int64)
         self._generations = np.zeros(0, dtype=np.int64)
-        self._durations: List[float] = []
+        self._durations = np.zeros(0, dtype=float)
         self._callbacks: List[Optional[Tuple[Callable[..., Any], tuple]]] = []
+        self._release_on_fire: List[bool] = []
         self._free: List[int] = []
         self._stamp = 0
         self._pending: Optional[Event] = None
@@ -275,16 +288,29 @@ class DeadlineTable:
             ("_expired", False, bool),
             ("_order", 0, np.int64),
             ("_generations", 0, np.int64),
+            ("_durations", 0.0, float),
         ):
             fresh = np.full(new, fill, dtype=dtype)
             fresh[:old] = getattr(self, attr)
             setattr(self, attr, fresh)
-        self._durations.extend([0.0] * (new - old))
         self._callbacks.extend([None] * (new - old))
+        self._release_on_fire.extend([False] * (new - old))
         self._free.extend(range(new - 1, old - 1, -1))
 
-    def arm(self, duration: float, callback: Callable[..., Any], *args: Any) -> DeadlineHandle:
-        """Claim an entry and arm it ``duration`` seconds from now."""
+    def arm(
+        self,
+        duration: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        release_on_fire: bool = False,
+    ) -> DeadlineHandle:
+        """Claim an entry and arm it ``duration`` seconds from now.
+
+        ``release_on_fire=True`` recycles the entry into the free pool as soon
+        as the deadline fires -- for fire-and-forget one-shots (a VM's exact
+        lifetime expiry, say) whose callers never hold the handle, so a churny
+        run does not grow the table by one dead entry per event.
+        """
         if duration <= 0:
             raise SimulationError(f"deadline duration must be positive, got {duration}")
         if not self._free:
@@ -293,6 +319,7 @@ class DeadlineTable:
         self._generations[index] += 1
         self._durations[index] = float(duration)
         self._callbacks[index] = (callback, args)
+        self._release_on_fire[index] = bool(release_on_fire)
         handle = DeadlineHandle(self, index, int(self._generations[index]))
         self._restart(index, None)
         return handle
@@ -306,12 +333,47 @@ class DeadlineTable:
             self._free.append(handle.index)
 
     # ----------------------------------------------------------------- arming
-    def _restart(self, index: int, duration: Optional[float]) -> None:
+    def restart_handles(self, handles: Sequence[DeadlineHandle], base: float) -> None:
+        """Re-arm a batch of entries to ``base + duration`` each, in sequence order.
+
+        The vectorized twin of calling ``handle.restart()`` on every handle
+        with the clock at ``base``: one numpy write re-arms the batch,
+        restart-order stamps are assigned in sequence order (the tie-break
+        per-entry restarts would have produced), and released or stale
+        handles are silently skipped -- exactly as the deliveries that would
+        have restarted them would have been dropped.  ``base`` may lie in the
+        future: a heartbeat publisher restarts its listeners' detectors at
+        *delivery* time (publish time + latency) without waiting for the
+        delivery event.
+        """
+        n = len(handles)
+        if n == 0:
+            return
+        idx = np.fromiter((h.index for h in handles), dtype=np.int64, count=n)
+        gens = np.fromiter((h.generation for h in handles), dtype=np.int64, count=n)
+        valid = self._generations[idx] == gens
+        if not bool(valid.all()):
+            idx = idx[valid]
+            n = int(idx.size)
+            if n == 0:
+                return
+        deadlines = float(base) + self._durations[idx]
+        self._deadlines[idx] = deadlines
+        self._active[idx] = True
+        self._expired[idx] = False
+        self._order[idx] = np.arange(self._stamp + 1, self._stamp + n + 1, dtype=np.int64)
+        self._stamp += n
+        earliest = float(deadlines.min())
+        if earliest < self._pending_time:
+            self._schedule(earliest)
+
+    def _restart(self, index: int, duration: Optional[float], base: Optional[float] = None) -> None:
         if duration is not None:
             if duration <= 0:
                 raise SimulationError("deadline duration must be positive")
             self._durations[index] = float(duration)
-        deadline = self.sim.now + self._durations[index]
+        start = self.sim.now if base is None else float(base)
+        deadline = start + float(self._durations[index])
         self._deadlines[index] = deadline
         self._active[index] = True
         self._expired[index] = False
@@ -345,6 +407,10 @@ class DeadlineTable:
                 self._deactivate(index)
                 self._expired[index] = True
                 callback, args = self._callbacks[index]
+                if self._release_on_fire[index]:
+                    self._generations[index] += 1
+                    self._callbacks[index] = None
+                    self._free.append(index)
                 callback(*args)
         if self._active.any():
             earliest = float(self._deadlines[self._active].min())

@@ -175,6 +175,42 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
+    def create_at(
+        self,
+        time: float,
+        callback: Optional[Callable[..., Any]] = None,
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        """Build an event -- drawing its sequence number now -- without queueing it.
+
+        Paired with :meth:`enqueue`.  Callers that know a whole series of
+        future events up front (a scenario's arrival list, say) can draw the
+        tie-breaking sequence numbers immediately, preserving the exact firing
+        order that pre-scheduling every event would give, while keeping only
+        O(1) of them in the heap at a time.
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot create an event at NaN time")
+        return Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+        )
+
+    def enqueue(self, event: Event) -> Event:
+        """Queue an event previously built with :meth:`create_at`."""
+        if event.time < self.now:
+            raise SimulationError(
+                f"cannot enqueue event in the past (t={event.time} < now={self.now})"
+            )
+        heapq.heappush(self._queue, event)
+        return event
+
     def event(self) -> Event:
         """Create an unscheduled event that fires only when :meth:`trigger` is called.
 
@@ -283,3 +319,35 @@ class Simulator:
     def has_service(self, name: str) -> bool:
         """True if a service was registered under ``name``."""
         return name in self._services
+
+def schedule_series(
+    sim: Simulator,
+    items: "list[tuple[float, Any]]",
+    action: Callable[[Any], Any],
+) -> None:
+    """Fire ``action(payload)`` at each ``(time, payload)``, one heap entry at a time.
+
+    Drop-in replacement for scheduling every item with :meth:`Simulator.schedule_at`
+    up front: each item's event (and its tie-breaking sequence number) is created
+    immediately, in list order, so firing order -- including order among
+    same-instant items and against unrelated events -- is identical.  But only
+    the next pending item sits in the event heap; each firing enqueues its
+    successor.  A fleet-scale scenario pre-scheduling thousands of VM arrivals
+    otherwise keeps the heap large for the whole run, and every unrelated heap
+    operation pays the extra ``log n``.
+    """
+    events = [sim.create_at(time, None) for time, _ in items]
+    payloads = [payload for _, payload in items]
+    order = sorted(range(len(events)), key=lambda i: (events[i].time, events[i].seq))
+
+    def _fire(rank: int) -> None:
+        if rank + 1 < len(order):
+            sim.enqueue(events[order[rank + 1]])
+        action(payloads[order[rank]])
+
+    for rank, index in enumerate(order):
+        event = events[index]
+        event.callback = _fire
+        event.args = (rank,)
+    if order:
+        sim.enqueue(events[order[0]])

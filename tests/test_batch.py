@@ -204,3 +204,69 @@ class TestDeadlineTable:
             table.arm(5.0, lambda: None)
         # 50 failure detectors, one scheduled simulator event.
         assert len(sim) == 1
+
+
+class TestVectorizedRestarts:
+    """Publish-time batch restarts: the heartbeat fan-out / lease fast paths."""
+
+    def test_restart_handles_matches_per_entry_restarts(self, sim):
+        table, mirror = DeadlineTable(sim), DeadlineTable(sim)
+        fired, mirrored = [], []
+        handles = [table.arm(5.0, lambda i=i: fired.append((i, sim.now))) for i in range(4)]
+        twins = [mirror.arm(5.0, lambda i=i: mirrored.append((i, sim.now))) for i in range(4)]
+        sim.run(until=2.0)
+        # One vectorized call == four per-entry restarts with the clock at 2.0.
+        table.restart_handles(handles, sim.now)
+        for twin in twins:
+            twin.restart()
+        sim.run(until=20.0)
+        assert fired == mirrored == [(i, 7.0) for i in range(4)]
+
+    def test_restart_handles_sets_base_plus_duration(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handles = [table.arm(5.0, lambda i=i: fired.append(i)) for i in range(3)]
+        sim.run(until=1.0)
+        table.restart_handles(handles, 2.5)  # deadlines at 7.5, not 6.0
+        sim.run(until=6.9)
+        assert fired == []
+        sim.run(until=7.5)
+        assert fired == [0, 1, 2]
+
+    def test_restart_handles_fires_in_sequence_order(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handles = [table.arm(4.0, lambda i=i: fired.append(i)) for i in range(4)]
+        table.restart_handles(list(reversed(handles)), 1.0)
+        sim.run(until=10.0)
+        # Equal deadlines fire in restart order: the reversed sequence.
+        assert fired == [3, 2, 1, 0]
+
+    def test_restart_handles_skips_released_handles(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handles = [table.arm(4.0, lambda i=i: fired.append(i)) for i in range(3)]
+        handles[1].release()
+        recycled = table.arm(100.0, lambda: fired.append("recycled"))
+        assert recycled.index == handles[1].index  # entry reused
+        table.restart_handles(handles, 1.0)
+        sim.run(until=10.0)
+        # The stale handle neither fires nor disturbs the recycled entry.
+        assert fired == [0, 2]
+        assert recycled.armed
+
+    def test_restart_later_is_a_future_based_restart(self, sim):
+        table = DeadlineTable(sim)
+        fired = []
+        handle = table.arm(5.0, lambda: fired.append(sim.now))
+        sim.run(until=2.0)
+        handle.restart_later(3.0)  # delivery-time restart: fires at 8.0
+        sim.run(until=20.0)
+        assert fired == [8.0]
+
+    def test_restart_later_on_released_handle_is_a_noop(self, sim):
+        table = DeadlineTable(sim)
+        handle = table.arm(5.0, lambda: None)
+        handle.release()
+        handle.restart_later(1.0)  # must not raise, must not re-arm
+        assert not handle.armed

@@ -1,0 +1,137 @@
+"""Tests for the sharded lockstep megafleet engine and its catalog.
+
+The load-bearing property is the sweeps/colonies determinism discipline at
+fleet scale: a run's canonical JSON must be byte-identical for ANY shard and
+jobs count, because randomness is spawned per group before the fan-out and
+inter-shard messages only flow at epoch boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.megafleet import (
+    MegafleetSpec,
+    ShardedFleetSimulator,
+    get_megafleet,
+    megafleet_names,
+    run_megafleet,
+)
+
+
+def tiny_spec(**overrides) -> MegafleetSpec:
+    """A seconds-fast fleet derived from the smoke-test catalog entry."""
+    base = dataclasses.replace(
+        get_megafleet("megafleet-1k"),
+        local_controllers=120,
+        group_managers=6,
+        duration=60.0,
+        arrivals_per_epoch=25.0,
+        vm_lifetime_mean=40.0,
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+class TestCatalog:
+    def test_roadmap_fleets_registered(self):
+        names = megafleet_names()
+        assert "megafleet-10k" in names
+        assert "megafleet-100k" in names
+        assert get_megafleet("megafleet-100k").local_controllers == 100_000
+
+    def test_unknown_fleet_raises(self):
+        with pytest.raises(KeyError, match="unknown megafleet"):
+            get_megafleet("megafleet-1e9")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="at least one LC"):
+            tiny_spec(local_controllers=2, group_managers=6)
+        with pytest.raises(ValueError, match="positive epoch"):
+            tiny_spec(duration=1.0, epoch=10.0)
+        with pytest.raises(ValueError, match="match dimensions"):
+            tiny_spec(node_capacity=(1.0,))
+
+    def test_group_sizes_cover_fleet(self):
+        spec = tiny_spec(local_controllers=121)
+        sizes = spec.group_sizes()
+        assert sum(sizes) == 121
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_spec_round_trips_to_json(self):
+        payload = json.loads(json.dumps(tiny_spec().to_dict()))
+        assert payload["local_controllers"] == 120
+        assert payload["dimensions"] == ["cpu", "memory", "network"]
+
+
+class TestDeterminism:
+    def test_byte_identical_across_shard_counts(self):
+        spec = tiny_spec()
+        reference = ShardedFleetSimulator(spec, seed=11).run(shards=1).canonical_json()
+        for shards in (2, 3, 6, 32):  # 32 > group count: clamped, still identical
+            assert (
+                ShardedFleetSimulator(spec, seed=11).run(shards=shards).canonical_json()
+                == reference
+            )
+
+    def test_byte_identical_across_jobs(self):
+        spec = tiny_spec()
+        serial = ShardedFleetSimulator(spec, seed=11).run(shards=4, jobs=1)
+        pooled = ShardedFleetSimulator(spec, seed=11).run(shards=4, jobs=2)
+        assert pooled.canonical_json() == serial.canonical_json()
+
+    def test_seed_changes_the_run(self):
+        spec = tiny_spec()
+        a = ShardedFleetSimulator(spec, seed=1).run().canonical_json()
+        b = ShardedFleetSimulator(spec, seed=2).run().canonical_json()
+        assert a != b
+
+    def test_wall_clock_excluded_from_canonical_payload(self):
+        result = ShardedFleetSimulator(tiny_spec(), seed=3).run()
+        assert result.wall_seconds > 0
+        assert "wall" not in result.canonical_json()
+
+
+class TestSemantics:
+    def test_totals_are_consistent(self):
+        result = ShardedFleetSimulator(tiny_spec(), seed=5).run(shards=3)
+        totals = result.totals
+        assert totals["epochs"] == tiny_spec().n_epochs
+        assert totals["placements"] > 0
+        # Every placed VM either departed or is still running.
+        assert totals["vms_running"] == totals["placements"] - totals["departures"]
+        # Events count at least the per-LC monitoring rows of every epoch.
+        assert totals["events"] >= 120 * totals["epochs"]
+
+    def test_dispatch_spreads_over_groups(self):
+        result = ShardedFleetSimulator(tiny_spec(), seed=5).run()
+        placed_groups = [g for g in result.per_group if g["placements"] > 0]
+        assert len(placed_groups) > 1
+
+    def test_capacity_never_oversubscribed(self):
+        result = ShardedFleetSimulator(tiny_spec(arrivals_per_epoch=200.0), seed=9).run()
+        for group in result.per_group:
+            assert group["free_cpu"] >= 0.0
+
+    def test_run_megafleet_duration_override(self):
+        result = run_megafleet("megafleet-1k", seed=1, shards=4, duration=30.0)
+        assert result.totals["epochs"] == 3
+        assert result.spec.name == "megafleet-1k"
+
+
+class TestCli:
+    def test_megafleet_list(self, capsys):
+        assert main(["megafleet", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "megafleet-100k" in out
+
+    def test_megafleet_run_json_matches_engine(self, capsys):
+        args = ["megafleet", "run", "megafleet-1k", "--seed", "4", "--duration", "30",
+                "--shards", "3", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        direct = run_megafleet("megafleet-1k", seed=4, shards=1, duration=30.0)
+        assert payload["totals"] == direct.totals
