@@ -96,6 +96,29 @@ def write_results_json(filename: str, payload: dict) -> None:
         pass
 
 
+def merge_results_json(filename: str, payload: dict) -> None:
+    """Merge ``payload``'s top-level keys into an existing results file.
+
+    Unlike :func:`write_results_json` (full overwrite), keys written by
+    *other* benchmarks survive: the sweep matrix and distributed-sweep
+    benchmarks share ``BENCH_SWEEP_MATRIX.json``, and whichever runs second
+    must not erase the other's cell.  Same never-fail contract.
+    """
+    path = results_path(filename)
+    if path is None:
+        return
+    merged: dict = {}
+    try:
+        if path.exists():
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict):
+                merged = existing
+    except (json.JSONDecodeError, OSError):
+        pass
+    merged.update(payload)
+    write_results_json(filename, merged)
+
+
 def _write_summary(experiment: str, benchmark, elapsed_seconds: float, result) -> None:
     filename = f"BENCH_{experiment}.json"
     path = results_path(filename)

@@ -1,0 +1,195 @@
+"""Distributed sweep benchmark -- serial vs pool vs loopback runner fleets.
+
+Runs one small grid (the ``smoke-2x2`` scenarios with two seeds, 8 cells)
+through every execution backend: the in-process serial executor, the
+multiprocessing pool, and :class:`~repro.sweeps.distributed.DistributedExecutor`
+fleets of 1, 2 and 4 loopback runner subprocesses -- plus one fleet where a
+runner is killed mid-sweep (``REPRO_SWEEP_RUNNER_FAULT``) to price the lease
+reclaim/retry path.  Every backend's report must be byte-identical to the
+serial one; the wall clocks land in ``BENCH_SWEEP_DIST.json`` and a summary
+cell is merged into ``BENCH_SWEEP_MATRIX.json``.
+
+The 1-runner fleet measures pure coordination overhead (socket round-trips,
+leases, heartbeats, subprocess start) against the serial baseline, reported as
+``coordinator_overhead_ratio``.  On a single-CPU container every backend
+time-slices one core, so speedups are flagged ``compute_starved`` instead of
+asserted; the strict gate runs only in CI (``REPRO_BENCH_STRICT=1``) with
+real cores.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.metrics.report import ComparisonTable
+from repro.sweeps import DistributedExecutor, SweepSpec, run_sweep
+
+from benchmarks.conftest import merge_results_json, run_once, write_results_json
+
+SCENARIOS = ["steady-churn", "flash-crowd"]
+SEEDS = [2012, 7]
+DURATION = 600.0
+RUNNER_COUNTS = [1, 2, 4]
+#: Short leases so the killed-runner cell recovers quickly; heartbeats keep
+#: healthy long runs alive regardless.
+LEASE_SECONDS = 2.0
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _dist_spec() -> SweepSpec:
+    return SweepSpec(
+        name="dist-bench",
+        description="distributed sweep benchmark grid",
+        scenarios=SCENARIOS,
+        policies=[{}, {"placement": {"name": "best-fit"}}],
+        seeds=SEEDS,
+        duration=DURATION,
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_sweep_distributed_backends(benchmark):
+    spec = _dist_spec()
+    pool_jobs = max(2, min(4, _available_cpus()))
+
+    def compare() -> dict:
+        serial, serial_seconds = _timed(lambda: run_sweep(spec, jobs=1))
+        pool, pool_seconds = _timed(lambda: run_sweep(spec, jobs=pool_jobs))
+        fleets = {}
+        for runners in RUNNER_COUNTS:
+            executor = DistributedExecutor(runners=runners, lease_seconds=LEASE_SECONDS)
+            report, seconds = _timed(lambda: run_sweep(spec, executor=executor))
+            fleets[runners] = {
+                "report": report,
+                "seconds": seconds,
+                "stats": dict(executor.last_stats),
+            }
+        killer = DistributedExecutor(
+            runners=2,
+            lease_seconds=LEASE_SECONDS,
+            runner_env=[{"REPRO_SWEEP_RUNNER_FAULT": "die-after-pulls:1"}, None],
+        )
+        killed, killed_seconds = _timed(lambda: run_sweep(spec, executor=killer))
+        return {
+            "serial": serial,
+            "serial_seconds": serial_seconds,
+            "pool": pool,
+            "pool_jobs": pool_jobs,
+            "pool_seconds": pool_seconds,
+            "fleets": fleets,
+            "killed": killed,
+            "killed_seconds": killed_seconds,
+            "killed_stats": dict(killer.last_stats),
+        }
+
+    outcome = run_once(benchmark, compare)
+    serial = outcome["serial"]
+    serial_json = serial.to_json()
+    cpus = _available_cpus()
+    compute_starved = cpus < 2
+
+    identical = (
+        outcome["pool"].to_json() == serial_json
+        and outcome["killed"].to_json() == serial_json
+        and all(
+            fleet["report"].to_json() == serial_json
+            for fleet in outcome["fleets"].values()
+        )
+    )
+    overhead_ratio = outcome["fleets"][1]["seconds"] / max(
+        outcome["serial_seconds"], 1e-9
+    )
+    speedups = {
+        runners: outcome["serial_seconds"] / max(fleet["seconds"], 1e-9)
+        for runners, fleet in outcome["fleets"].items()
+    }
+
+    write_results_json(
+        "BENCH_SWEEP_DIST.json",
+        {
+            "sweep": spec.name,
+            "scenarios": SCENARIOS,
+            "seeds": SEEDS,
+            "duration_seconds": DURATION,
+            "runs": serial.total_runs,
+            "failed_runs": serial.failed,
+            "cpus_available": cpus,
+            "compute_starved": compute_starved,
+            "lease_seconds": LEASE_SECONDS,
+            "serial_seconds": round(outcome["serial_seconds"], 4),
+            "pool_jobs": outcome["pool_jobs"],
+            "pool_seconds": round(outcome["pool_seconds"], 4),
+            "runners": {
+                str(runners): {
+                    "seconds": round(fleet["seconds"], 4),
+                    "speedup_vs_serial": round(speedups[runners], 4),
+                    "leases_granted": fleet["stats"].get("leases_granted"),
+                    "speculative_leases": fleet["stats"].get("speculative_leases"),
+                }
+                for runners, fleet in outcome["fleets"].items()
+            },
+            "coordinator_overhead_ratio": round(overhead_ratio, 4),
+            "killed_runner": {
+                "seconds": round(outcome["killed_seconds"], 4),
+                "reclaimed_disconnect": outcome["killed_stats"].get(
+                    "reclaimed_disconnect"
+                ),
+                "retries": outcome["killed_stats"].get("retries"),
+            },
+            "reports_identical": identical,
+        },
+    )
+    merge_results_json(
+        "BENCH_SWEEP_MATRIX.json",
+        {
+            "distributed": {
+                "runs": serial.total_runs,
+                "runners": 2,
+                "seconds": round(outcome["fleets"][2]["seconds"], 4),
+                "speedup_vs_serial": round(speedups[2], 4),
+                "reports_identical": identical,
+                "compute_starved": compute_starved,
+            }
+        },
+    )
+
+    table = ComparisonTable(f"Distributed sweep: {serial.total_runs} runs per backend")
+    table.add_row(backend="serial", workers=1, wall_seconds=round(outcome["serial_seconds"], 3))
+    table.add_row(
+        backend="pool",
+        workers=outcome["pool_jobs"],
+        wall_seconds=round(outcome["pool_seconds"], 3),
+    )
+    for runners, fleet in outcome["fleets"].items():
+        table.add_row(
+            backend=f"runners={runners}",
+            workers=runners,
+            wall_seconds=round(fleet["seconds"], 3),
+        )
+    table.add_row(
+        backend="runners=2 +kill", workers=2, wall_seconds=round(outcome["killed_seconds"], 3)
+    )
+    table.print()
+
+    assert serial.failed == 0
+    # The tentpole contract: no backend, fleet size or injected kill may
+    # change a single byte of the report.
+    assert identical
+    assert outcome["killed_stats"]["reclaimed_disconnect"] >= 1
+    # The threshold gates only run in the dedicated CI job with real cores;
+    # see test_bench_sweep_matrix for the rationale.
+    if os.environ.get("REPRO_BENCH_STRICT") == "1" and cpus >= 4:
+        assert speedups[2] > 1.7
+        assert overhead_ratio < 3.0

@@ -22,7 +22,7 @@ import time
 from repro.metrics.report import ComparisonTable
 from repro.sweeps import SweepSpec, get_sweep, run_sweep
 
-from benchmarks.conftest import run_once, write_results_json
+from benchmarks.conftest import merge_results_json, run_once
 
 SWEEP = "policy-matrix"
 #: Trim the catalog entry to one scenario and shorter runs: enough cells (20)
@@ -67,8 +67,13 @@ def test_sweep_matrix_serial_vs_parallel(benchmark):
     serial, parallel = outcome["serial"], outcome["parallel"]
     speedup = outcome["serial_seconds"] / max(outcome["parallel_seconds"], 1e-9)
     cpus = _available_cpus()
+    # On a single-CPU box every backend time-slices one core: speedup numbers
+    # are honest-but-meaningless, so they are flagged rather than asserted.
+    compute_starved = cpus < 2
 
-    write_results_json(
+    # Merge (not overwrite): the distributed-sweep benchmark contributes a
+    # "distributed" cell to this same file.
+    merge_results_json(
         "BENCH_SWEEP_MATRIX.json",
         {
             "sweep": SWEEP,
@@ -78,6 +83,7 @@ def test_sweep_matrix_serial_vs_parallel(benchmark):
             "failed_runs": serial.failed,
             "jobs": PARALLEL_JOBS,
             "cpus_available": cpus,
+            "compute_starved": compute_starved,
             "serial_seconds": round(outcome["serial_seconds"], 4),
             "parallel_seconds": round(outcome["parallel_seconds"], 4),
             "speedup": round(speedup, 4),
@@ -100,7 +106,9 @@ def test_sweep_matrix_serial_vs_parallel(benchmark):
     # The determinism contract: the job count must never change the report.
     assert serial.to_json() == parallel.to_json()
     assert serial.to_csv() == parallel.to_csv()
-    assert speedup > 0
+    # Any speedup assertion needs at least a second CPU to be meaningful.
+    if not compute_starved:
+        assert speedup > 0
     # The wall-clock threshold is load-sensitive, so it is only enforced in
     # the dedicated CI sweeps job (REPRO_BENCH_STRICT=1), never in the plain
     # tier-1 run where a noisy co-tenant could flake the whole suite.

@@ -1,0 +1,85 @@
+"""Tour of the distributed sweep plane: a runner fleet, a crash, and answers.
+
+Runs the same small grid three ways -- in-process serial, a 2-runner loopback
+fleet, and a 2-runner fleet where one runner is killed mid-sweep -- shows the
+three reports are byte-identical, then finishes with the Pareto-front
+analysis that turns the grid into an answer.
+
+Run with::
+
+    PYTHONPATH=src python examples/sweep_fleet_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import ComparisonTable
+from repro.sweeps import DistributedExecutor, SweepSpec, run_sweep
+
+SPEC = SweepSpec(
+    name="fleet-tour",
+    description="two scenarios x two placement policies",
+    scenarios=["steady-churn", "flash-crowd"],
+    policies=[{}, {"placement": {"name": "best-fit"}}],
+    seeds=[2012],
+    duration=600.0,
+)
+
+
+def main() -> None:
+    print(f"Sweep: {SPEC.name} ({SPEC.total_runs()} cells)\n")
+
+    serial = run_sweep(SPEC, jobs=1)
+
+    fleet_executor = DistributedExecutor(runners=2)
+    fleet = run_sweep(SPEC, executor=fleet_executor)
+
+    # Chaos drill: runner 0 hard-exits (os._exit) while holding its first
+    # lease; the coordinator reclaims the lease on disconnect and retries the
+    # cell on the surviving runner.
+    chaos_executor = DistributedExecutor(
+        runners=2,
+        lease_seconds=2.0,
+        runner_env=[{"REPRO_SWEEP_RUNNER_FAULT": "die-after-pulls:1"}, None],
+    )
+    chaos = run_sweep(SPEC, executor=chaos_executor)
+
+    table = ComparisonTable("One grid, three backends")
+    for label, report, stats in (
+        ("serial", serial, {}),
+        ("2 runners", fleet, fleet_executor.last_stats),
+        ("2 runners, 1 killed", chaos, chaos_executor.last_stats),
+    ):
+        table.add_row(
+            backend=label,
+            wall_seconds=round(report.timing["wall_seconds_total"], 2),
+            failed=report.failed,
+            leases=stats.get("leases_granted", "-"),
+            reclaimed=stats.get("reclaimed_disconnect", "-"),
+            retries=stats.get("retries", "-"),
+            identical_to_serial=report.to_json() == serial.to_json(),
+        )
+    table.print()
+
+    print(
+        "\nEvery backend produced the same bytes: outcomes are reassembled in"
+        " run-index order and wall clocks never enter the canonical report,"
+        " so a crashed runner costs time, not correctness.\n"
+    )
+
+    analysis = serial.pareto()
+    for scenario, entry in analysis["scenarios"].items():
+        table = ComparisonTable(f"{scenario}: Pareto ranks (minimizing "
+                                f"{', '.join(analysis['objectives'])})")
+        for cell in entry["cells"]:
+            table.add_row(
+                rank=cell["rank"],
+                policies=cell["policies"],
+                **{name: round(value, 4) for name, value in cell["objectives"].items()},
+            )
+        table.print()
+        front = ", ".join(cell["policies"] for cell in entry["front"])
+        print(f"  non-dominated: {front}\n")
+
+
+if __name__ == "__main__":
+    main()

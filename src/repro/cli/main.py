@@ -35,10 +35,13 @@ Sub-commands
     statistics.
 
 ``repro-sim sweep``
-    List, describe and run declarative experiment grids
+    List, describe, run, distribute and analyze declarative experiment grids
     (:mod:`repro.sweeps`): ``sweep list``, ``sweep describe <name>``,
-    ``sweep run <name> [--jobs N] [--json] [--policy kind=name ...]
-    [--duration S] [--output PATH] [--csv PATH]``.
+    ``sweep run <name> [--jobs N | --runners N] [--json]
+    [--policy kind=name ...] [--duration S] [--output PATH] [--csv PATH]``,
+    ``sweep serve <name> [--host H] [--port P] [--port-file PATH]``,
+    ``sweep work --connect HOST:PORT``, and
+    ``sweep analyze <report.json> [--objectives a,b,c]`` for Pareto fronts.
 
 ``repro-sim megafleet``
     List and run the warehouse-scale fleet catalog (:mod:`repro.megafleet`)
@@ -52,6 +55,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -65,7 +69,7 @@ from repro.policies import get_policy_spec, iter_policy_specs
 from repro.policies.registry import merge_policy_selections
 from repro.scenarios import ScenarioRunner, ScenarioSpec, get_scenario, iter_scenarios
 from repro.simulation.randomness import spawn_generator
-from repro.sweeps import SweepSpec, get_sweep, iter_sweeps, run_sweep
+from repro.sweeps import SweepReport, SweepSpec, get_sweep, iter_sweeps, run_sweep
 from repro.workloads import (
     BatchArrival,
     UniformDemandDistribution,
@@ -180,10 +184,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = subparsers.add_parser(
-        "sweep", help="list, describe and run declarative experiment grids"
+        "sweep", help="list, describe, run, distribute and analyze experiment grids"
     )
-    sweep.add_argument("action", choices=["list", "describe", "run"], help="what to do")
-    sweep.add_argument("name", nargs="?", help="sweep name (for describe/run)")
+    sweep.add_argument(
+        "action",
+        choices=["list", "describe", "run", "serve", "work", "analyze"],
+        help=(
+            "list/describe/run the catalog; serve a grid to work-pulling "
+            "runners; work as a runner; analyze a report file (Pareto fronts)"
+        ),
+    )
+    sweep.add_argument(
+        "name",
+        nargs="?",
+        help="sweep name (describe/run/serve) or report JSON path (analyze)",
+    )
     sweep.add_argument(
         "--jobs",
         type=int,
@@ -191,6 +206,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "parallel worker processes for sweep run "
             "(default 1 = serial; the report is identical either way)"
+        ),
+    )
+    sweep.add_argument(
+        "--runners",
+        type=int,
+        default=None,
+        help=(
+            "for sweep run: execute on N loopback runner subprocesses via the "
+            "distributed coordinator (the report is identical to --jobs runs)"
+        ),
+    )
+    sweep.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="for sweep work: the coordinator address to pull cells from",
+    )
+    sweep.add_argument(
+        "--host",
+        default="0.0.0.0",
+        help="for sweep serve: bind address (default 0.0.0.0)",
+    )
+    sweep.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="for sweep serve: bind port (default 0 = pick a free port)",
+    )
+    sweep.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="for sweep serve: write the bound port to PATH once listening",
+    )
+    sweep.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help=(
+            "for sweep serve/run --runners: seconds a granted cell may go "
+            "without a heartbeat before it is reclaimed and retried"
+        ),
+    )
+    sweep.add_argument(
+        "--objectives",
+        metavar="A,B,C",
+        default=None,
+        help=(
+            "for sweep analyze: comma-separated metrics to minimize "
+            "(default energy_kwh,sla_violations,migrations)"
         ),
     )
     sweep.add_argument(
@@ -439,20 +502,201 @@ def _sweep_with_overrides(spec: SweepSpec, overrides: dict, duration) -> SweepSp
     return SweepSpec.from_dict(data)
 
 
+def _emit_sweep_report(report, args: argparse.Namespace, backend: str) -> int:
+    """Shared tail of ``sweep run``/``sweep serve``: print, write files, exit code."""
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"Sweep: {report.spec.name} ({report.total_runs} runs, {backend})")
+        table = ComparisonTable("aggregates (mean over seeds)")
+        for group in report.aggregates():
+            metrics = group["metrics"]
+            table.add_row(
+                scenario=group["scenario"],
+                policies=group["policies"],
+                thresholds=group["thresholds"],
+                runs=group["runs"],
+                failed=group["failed"],
+                energy_kwh=round(metrics.get("energy_kwh", {}).get("mean", 0.0), 4),
+                migrations=round(metrics.get("migrations", {}).get("mean", 0.0), 2),
+                sla_violations=round(metrics.get("sla_violations", {}).get("mean", 0.0), 2),
+                mean_active_hosts=round(
+                    metrics.get("mean_active_hosts", {}).get("mean", 0.0), 3
+                ),
+            )
+        table.print()
+        total = report.timing.get("wall_seconds_total")
+        if total is not None:
+            print(f"Wall clock: {total:.2f}s ({backend})")
+    # File writes come after the report has been printed: an unwritable path
+    # must not discard a grid that just spent the wall-clock to compute.
+    write_error = False
+    for path, render in ((args.output, lambda: report.to_json() + "\n"), (args.csv, report.to_csv)):
+        if not path:
+            continue
+        try:
+            with open(path, "w") as handle:
+                handle.write(render())
+        except OSError as exc:
+            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+            write_error = True
+    if report.failed:
+        for failure in report.failures():
+            print(
+                f"error: run {failure['index']} ({failure['scenario']}, "
+                f"{failure['policies']}): {failure['error']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 1 if write_error else 0
+
+
+def _run_sweep_serve(spec: SweepSpec, args: argparse.Namespace) -> int:
+    """Serve ``spec`` to work-pulling runners, then report like ``sweep run``."""
+    from repro.sweeps.distributed import SweepAborted, SweepCoordinator, collect_outcomes
+
+    payloads = [run.to_dict() for run in spec.expand()]
+    coordinator = SweepCoordinator(
+        payloads, host=args.host, port=args.port, lease_seconds=args.lease_seconds
+    )
+
+    def on_bound(address) -> None:
+        host, port = address
+        # Status goes to stderr so --json keeps machine-readable stdout.
+        print(
+            f"serving sweep {spec.name!r} ({len(payloads)} runs) on {host}:{port} -- "
+            f"connect runners with: repro-sim sweep work --connect {host}:{port}",
+            file=sys.stderr,
+        )
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{port}\n")
+
+    start = time.perf_counter()
+    try:
+        outcomes = collect_outcomes(coordinator, on_bound=on_bound)
+    except SweepAborted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    report = SweepReport.from_outcomes(
+        spec, outcomes, jobs=0, wall_seconds=time.perf_counter() - start
+    )
+    return _emit_sweep_report(report, args, backend="runner fleet")
+
+
+def _run_sweep_work(args: argparse.Namespace) -> int:
+    """Join a coordinator as one work-pulling runner."""
+    from repro.sweeps.runner import SweepRunner, parse_address
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        runner = SweepRunner(host, port)
+        posted = runner.run()
+    except OSError as exc:
+        print(f"error: cannot reach coordinator at {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    print(f"runner {runner.runner_id}: posted {posted} outcome(s)", file=sys.stderr)
+    return 0
+
+
+def _run_sweep_analyze(args: argparse.Namespace) -> int:
+    """Pareto-front analysis of a ``sweep run --output`` report file."""
+    from repro.sweeps.report import PARETO_OBJECTIVES, analyze_report, pareto_csv, pareto_json
+
+    try:
+        with open(args.name, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read report {args.name!r}: {exc}", file=sys.stderr)
+        return 1
+    objectives = (
+        tuple(part.strip() for part in args.objectives.split(",") if part.strip())
+        if args.objectives
+        else PARETO_OBJECTIVES
+    )
+    try:
+        analysis = analyze_report(report, objectives=objectives)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(pareto_json(analysis))
+    else:
+        print(f"Pareto analysis: {analysis['sweep']} (minimizing {', '.join(objectives)})")
+        for scenario in sorted(analysis["scenarios"]):
+            entry = analysis["scenarios"][scenario]
+            table = ComparisonTable(f"{scenario}: non-dominated fronts")
+            for cell in entry["cells"]:
+                table.add_row(
+                    rank="-" if cell["rank"] is None else cell["rank"],
+                    policies=cell["policies"],
+                    thresholds=cell["thresholds"],
+                    **{
+                        name: round(value, 4)
+                        for name, value in cell["objectives"].items()
+                    },
+                )
+            table.print()
+            front = ", ".join(
+                f"{cell['policies']} @ {cell['thresholds']}" for cell in entry["front"]
+            )
+            print(f"  front: {front}")
+    write_error = False
+    for path, render in (
+        (args.output, lambda: pareto_json(analysis) + "\n"),
+        (args.csv, lambda: pareto_csv(analysis)),
+    ):
+        if not path:
+            continue
+        try:
+            with open(path, "w") as handle:
+                handle.write(render())
+        except OSError as exc:
+            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+            write_error = True
+    return 1 if write_error else 0
+
+
 def _run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    # Run-only flags must not silently no-op on list/describe.
-    if args.action != "run":
+    # Action-specific flags must not silently no-op elsewhere.
+    if args.action not in ("run", "serve", "analyze"):
         if args.output:
-            parser.error("--output only applies to sweep run")
+            parser.error("--output only applies to sweep run/serve/analyze")
         if args.csv:
-            parser.error("--csv only applies to sweep run")
+            parser.error("--csv only applies to sweep run/serve/analyze")
+    if args.action != "run":
         if args.jobs is not None:
             parser.error("--jobs only applies to sweep run")
+        if args.runners is not None:
+            parser.error("--runners only applies to sweep run")
+    if args.action != "work" and args.connect:
+        parser.error("--connect only applies to sweep work")
+    if args.action != "serve" and args.port_file:
+        parser.error("--port-file only applies to sweep serve")
+    if args.action != "analyze" and args.objectives:
+        parser.error("--objectives only applies to sweep analyze")
+
+    if args.action == "work":
+        if args.connect is None:
+            parser.error("sweep work requires --connect HOST:PORT")
+        return _run_sweep_work(args)
+    if args.action == "analyze":
+        if args.name is None:
+            parser.error("sweep analyze requires a report JSON path")
+        return _run_sweep_analyze(args)
+
     if args.action == "list":
         if args.policy:
-            parser.error("--policy only applies to sweep run/describe")
+            parser.error("--policy only applies to sweep run/serve/describe")
         if args.duration is not None:
-            parser.error("--duration only applies to sweep run/describe")
+            parser.error("--duration only applies to sweep run/serve/describe")
         if args.json:
             print(
                 json.dumps(
@@ -488,6 +732,11 @@ def _run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser
     jobs = 1 if args.jobs is None else args.jobs
     if jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.runners is not None:
+        if args.runners < 1:
+            parser.error("--runners must be >= 1")
+        if args.jobs is not None:
+            parser.error("pass either --jobs or --runners, not both")
     try:
         spec = get_sweep(args.name)
     except KeyError as exc:
@@ -507,52 +756,24 @@ def _run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser
         print(json.dumps(description, indent=2, sort_keys=True))
         return 0
 
-    report = run_sweep(spec, jobs=jobs)
-    if args.json:
-        print(report.to_json())
-    else:
-        print(f"Sweep: {spec.name} ({report.total_runs} runs, jobs={jobs})")
-        table = ComparisonTable("aggregates (mean over seeds)")
-        for group in report.aggregates():
-            metrics = group["metrics"]
-            table.add_row(
-                scenario=group["scenario"],
-                policies=group["policies"],
-                thresholds=group["thresholds"],
-                runs=group["runs"],
-                failed=group["failed"],
-                energy_kwh=round(metrics.get("energy_kwh", {}).get("mean", 0.0), 4),
-                migrations=round(metrics.get("migrations", {}).get("mean", 0.0), 2),
-                sla_violations=round(metrics.get("sla_violations", {}).get("mean", 0.0), 2),
-                mean_active_hosts=round(
-                    metrics.get("mean_active_hosts", {}).get("mean", 0.0), 3
-                ),
-            )
-        table.print()
-        total = report.timing.get("wall_seconds_total")
-        if total is not None:
-            print(f"Wall clock: {total:.2f}s with {report.timing.get('jobs', jobs)} job(s)")
-    # File writes come after the report has been printed: an unwritable path
-    # must not discard a grid that just spent the wall-clock to compute.
-    write_error = False
-    for path, render in ((args.output, lambda: report.to_json() + "\n"), (args.csv, report.to_csv)):
-        if not path:
-            continue
+    if args.action == "serve":
+        return _run_sweep_serve(spec, args)
+
+    if args.runners is not None:
+        from repro.sweeps.distributed import DistributedExecutor, SweepAborted
+
+        executor = DistributedExecutor(
+            runners=args.runners, lease_seconds=args.lease_seconds
+        )
         try:
-            with open(path, "w") as handle:
-                handle.write(render())
-        except OSError as exc:
-            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
-            write_error = True
-    if report.failed:
-        for failure in report.failures():
-            print(
-                f"error: run {failure['index']} ({failure['scenario']}, "
-                f"{failure['policies']}): {failure['error']}",
-                file=sys.stderr,
-            )
-        return 1
-    return 1 if write_error else 0
+            report = run_sweep(spec, executor=executor)
+        except SweepAborted as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return _emit_sweep_report(report, args, backend=f"runners={args.runners}")
+
+    report = run_sweep(spec, jobs=jobs)
+    return _emit_sweep_report(report, args, backend=f"jobs={report.timing.get('jobs', jobs)}")
 
 
 # ------------------------------------------------------------------- scenario

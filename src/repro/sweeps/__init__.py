@@ -10,18 +10,26 @@ turned "an experiment" into data:
 * :mod:`repro.sweeps.executor` runs the cells serially or across a
   ``multiprocessing`` pool, with per-run failure isolation and seeds derived
   once via ``numpy.random.SeedSequence.spawn``;
+* :mod:`repro.sweeps.distributed` scales past one machine: an asyncio socket
+  coordinator serves cells to work-pulling runner clients
+  (:mod:`repro.sweeps.runner`) over a length-prefixed JSON protocol, with
+  per-lease deadlines, runner heartbeats, straggler-aware dispatch and
+  speculative re-dispatch -- and the same byte-identical-report guarantee;
 * :class:`~repro.sweeps.report.SweepReport` aggregates per-run
   :class:`~repro.scenarios.runner.ScenarioResult` data into per-cell metrics
   (energy, migrations, SLA violations, packing) with JSON and CSV output whose
-  bytes are independent of the job count;
+  bytes are independent of the backend, plus Pareto-front analysis
+  (:func:`~repro.sweeps.report.analyze_report`) so sweeps end in answers;
 * :mod:`repro.sweeps.catalog` names ready-made grids (``smoke-2x2``,
   ``paper-e5-grid``, ``policy-matrix``).
 
-Use ``repro-sim sweep list|describe|run --jobs N`` from the CLI, or::
+Use ``repro-sim sweep list|describe|run --jobs N|--runners N``,
+``sweep serve`` / ``sweep work --connect`` / ``sweep analyze`` from the CLI,
+or::
 
     from repro.sweeps import get_sweep, run_sweep
-    report = run_sweep(get_sweep("smoke-2x2"), jobs=4)
-    print(report.to_json())
+    report = run_sweep(get_sweep("smoke-2x2"), runners=4)
+    print(report.pareto())
 """
 
 from repro.sweeps.spec import RunSpec, SweepSpec, policy_cell_label, thresholds_label
@@ -31,8 +39,24 @@ from repro.sweeps.executor import (
     execute_run,
     make_executor,
 )
-from repro.sweeps.report import SweepReport
+from repro.sweeps.report import (
+    PARETO_OBJECTIVES,
+    SweepReport,
+    analyze_report,
+    pareto_csv,
+    pareto_json,
+    pareto_ranks,
+)
 from repro.sweeps.engine import run_sweep
+from repro.sweeps.distributed import (
+    CoordinatorThread,
+    DistributedExecutor,
+    SweepAborted,
+    SweepCoordinator,
+    collect_outcomes,
+    spawn_loopback_runner,
+)
+from repro.sweeps.runner import SweepRunner
 from repro.sweeps.catalog import get_sweep, iter_sweeps, register_sweep, sweep_names
 
 __all__ = [
@@ -45,7 +69,19 @@ __all__ = [
     "execute_run",
     "make_executor",
     "SweepReport",
+    "PARETO_OBJECTIVES",
+    "analyze_report",
+    "pareto_ranks",
+    "pareto_json",
+    "pareto_csv",
     "run_sweep",
+    "SweepCoordinator",
+    "CoordinatorThread",
+    "DistributedExecutor",
+    "SweepAborted",
+    "SweepRunner",
+    "collect_outcomes",
+    "spawn_loopback_runner",
     "register_sweep",
     "sweep_names",
     "get_sweep",

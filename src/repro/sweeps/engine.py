@@ -9,16 +9,31 @@ from repro.sweeps.report import SweepReport
 from repro.sweeps.spec import SweepSpec
 
 
-def run_sweep(spec: SweepSpec, jobs: int = 1, executor=None) -> SweepReport:
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    executor=None,
+    runners: int = 0,
+) -> SweepReport:
     """Execute every cell of ``spec`` and return the aggregated report.
 
-    ``jobs`` selects the backend (1 = in-process serial, >1 = multiprocessing
-    pool); an explicit ``executor`` (anything with a ``map(payloads)`` method)
-    overrides it.  The report's deterministic content is independent of the
-    backend; wall-clock timing is reported separately in ``report.timing``.
+    ``jobs`` selects the local backend (1 = in-process serial, >1 =
+    multiprocessing pool); ``runners`` >= 1 instead fans the cells out to that
+    many loopback runner subprocesses through a
+    :class:`~repro.sweeps.distributed.DistributedExecutor`; an explicit
+    ``executor`` (anything with a ``map(payloads)`` method) overrides both.
+    The report's deterministic content is independent of the backend;
+    wall-clock timing is reported separately in ``report.timing``.
     """
     if executor is None:
-        executor = make_executor(jobs)
+        if runners >= 1:
+            if jobs != 1:
+                raise ValueError("pass either jobs or runners, not both")
+            from repro.sweeps.distributed import DistributedExecutor
+
+            executor = DistributedExecutor(runners=runners)
+        else:
+            executor = make_executor(jobs)
     runs = spec.expand()
     start = time.perf_counter()
     outcomes = executor.map([run.to_dict() for run in runs])

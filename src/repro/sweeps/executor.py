@@ -27,10 +27,24 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
+import traceback
 from typing import Dict, List, Optional, Sequence
 
 from repro.scenarios.runner import ScenarioRunner
 from repro.sweeps.spec import RunSpec
+
+#: Upper bound on the traceback text carried in a failed outcome.  Tracebacks
+#: are a debugging aid shipped back from (possibly remote) workers; the *tail*
+#: is the informative end, so truncation drops leading frames.
+TRACEBACK_LIMIT_CHARS = 4000
+
+
+def _truncated_traceback() -> str:
+    """The current exception's traceback, tail-truncated for transport."""
+    text = traceback.format_exc()
+    if len(text) > TRACEBACK_LIMIT_CHARS:
+        text = "... [truncated] ...\n" + text[-TRACEBACK_LIMIT_CHARS:]
+    return text
 
 
 def execute_run(payload: Dict[str, object]) -> Dict[str, object]:
@@ -50,6 +64,7 @@ def execute_run(payload: Dict[str, object]) -> Dict[str, object]:
             "status": "ok",
             "result": result.to_dict(),
             "error": None,
+            "traceback": None,
             "wall_seconds": time.perf_counter() - start,
         }
     except Exception as exc:  # noqa: BLE001 - isolation is the whole point
@@ -58,6 +73,10 @@ def execute_run(payload: Dict[str, object]) -> Dict[str, object]:
             "status": "failed",
             "result": None,
             "error": f"{type(exc).__name__}: {exc}",
+            # Debugging context only: the report layer deliberately drops it,
+            # so canonical serializations stay stable across Python versions
+            # and worker filesystem layouts.
+            "traceback": _truncated_traceback(),
             "wall_seconds": time.perf_counter() - start,
         }
 
@@ -87,13 +106,27 @@ class MultiprocessExecutor:
     identical to the serial executor's regardless of completion order.  As with
     :class:`SerialExecutor`, ``fn`` may be any picklable module-level function
     (the default runs sweep cells).
+
+    ``chunksize`` batches that many payloads per pool task: for sub-second
+    cells the per-cell IPC round-trip dominates, and chunking amortizes it.
+    The default stays 1 (finest-grained balancing); any value produces the
+    same outcome list (the tests assert byte-identical reports).
     """
 
-    def __init__(self, jobs: int, start_method: Optional[str] = None, fn=execute_run) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        start_method: Optional[str] = None,
+        fn=execute_run,
+        chunksize: int = 1,
+    ) -> None:
         if jobs < 2:
             raise ValueError("MultiprocessExecutor needs jobs >= 2 (use SerialExecutor)")
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
         self.jobs = int(jobs)
         self.fn = fn
+        self.chunksize = int(chunksize)
         # Prefer fork on Linux only: workers inherit the imported registries
         # instead of re-importing the package per process.  On macOS fork is
         # available but unsafe (the spawn default exists for a reason), so
@@ -111,7 +144,7 @@ class MultiprocessExecutor:
         context = multiprocessing.get_context(self.start_method)
         workers = min(self.jobs, len(payloads))
         with context.Pool(processes=workers) as pool:
-            return pool.map(self.fn, payloads, chunksize=1)
+            return pool.map(self.fn, payloads, chunksize=self.chunksize)
 
 
 def make_executor(jobs: int = 1, fn=execute_run):

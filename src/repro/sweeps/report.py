@@ -44,6 +44,10 @@ METRIC_COLUMNS = (
 #: Identity columns preceding the metrics in every CSV row.
 KEY_COLUMNS = ("index", "scenario", "policies", "thresholds", "seed", "status", "error")
 
+#: Default Pareto objectives (all minimized): the paper's fundamental
+#: trade-off -- energy saved vs SLA kept vs migration churn paid for it.
+PARETO_OBJECTIVES = ("energy_kwh", "sla_violations", "migrations")
+
 
 def _metrics_from_result(result: Dict[str, dict]) -> Dict[str, float]:
     """Extract the report's metric row from a ``ScenarioResult`` dictionary."""
@@ -247,3 +251,152 @@ class SweepReport:
             row.extend(metrics.get(metric, "") for metric in METRIC_COLUMNS)
             writer.writerow(row)
         return buffer.getvalue()
+
+    def pareto(self, objectives: Sequence[str] = PARETO_OBJECTIVES) -> dict:
+        """Pareto-front analysis of this report (see :func:`analyze_report`)."""
+        return analyze_report(self.to_dict(), objectives=objectives)
+
+
+# ------------------------------------------------------------- Pareto analysis
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (all minimized)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_ranks(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Non-dominated sorting: rank 1 = the Pareto front, peeled repeatedly.
+
+    Rank ``r`` cells are exactly the non-dominated cells once ranks ``< r``
+    are removed, so every rank-``r`` cell (``r > 1``) is dominated by at least
+    one rank-``r-1`` cell.  Equal vectors share a rank (neither dominates).
+    Deterministic and independent of input order by construction.
+    """
+    n = len(vectors)
+    ranks = [0] * n
+    remaining = set(range(n))
+    rank = 0
+    while remaining:
+        rank += 1
+        front = [
+            i
+            for i in remaining
+            if not any(dominates(vectors[j], vectors[i]) for j in remaining if j != i)
+        ]
+        if not front:  # pragma: no cover - impossible for a strict partial order
+            front = sorted(remaining)
+        for i in front:
+            ranks[i] = rank
+        remaining.difference_update(front)
+    return ranks
+
+
+def analyze_report(
+    report: dict, objectives: Sequence[str] = PARETO_OBJECTIVES
+) -> dict:
+    """Pareto fronts over a report's aggregate cells, per scenario.
+
+    ``report`` is a :meth:`SweepReport.to_dict` dictionary (or the parsed JSON
+    a ``sweep run --output`` file holds).  Cells are the aggregate rows --
+    one per (scenario, policies, thresholds) group, objective values are the
+    group means -- and fronts are computed *within* each scenario, because
+    "less energy on a different workload" is not a trade-off.  Cells whose
+    every run failed carry ``rank: None`` and never join a front.
+
+    The result is deterministic plain data: cells sorted by (rank, policies,
+    thresholds) with unranked cells last, serialized canonically by
+    :func:`pareto_json` / :func:`pareto_csv`.
+    """
+    objectives = tuple(objectives)
+    if not objectives:
+        raise ValueError("need at least one objective")
+    unknown = [name for name in objectives if name not in METRIC_COLUMNS]
+    if unknown:
+        raise ValueError(
+            f"unknown objective(s) {unknown}; valid metrics: {sorted(METRIC_COLUMNS)}"
+        )
+    aggregates = report.get("aggregates")
+    if not isinstance(aggregates, list):
+        raise ValueError("not a sweep report: missing 'aggregates' (use sweep run --output)")
+
+    scenarios: Dict[str, List[dict]] = {}
+    for group in aggregates:
+        scenarios.setdefault(group["scenario"], []).append(group)
+
+    analyzed: Dict[str, dict] = {}
+    for scenario in sorted(scenarios):
+        groups = sorted(
+            scenarios[scenario], key=lambda g: (g["policies"], g["thresholds"])
+        )
+        ranked = [
+            g for g in groups if all(name in g["metrics"] for name in objectives)
+        ]
+        vectors = [
+            [float(g["metrics"][name]["mean"]) for name in objectives] for g in ranked
+        ]
+        ranks = pareto_ranks(vectors)
+        rank_of = {id(g): rank for g, rank in zip(ranked, ranks)}
+        cells = [
+            {
+                "policies": g["policies"],
+                "thresholds": g["thresholds"],
+                "rank": rank_of.get(id(g)),
+                "runs": g["runs"],
+                "failed": g["failed"],
+                "objectives": {
+                    name: float(g["metrics"][name]["mean"])
+                    for name in objectives
+                    if name in g["metrics"]
+                },
+            }
+            for g in groups
+        ]
+        cells.sort(
+            key=lambda c: (
+                c["rank"] is None,
+                c["rank"] if c["rank"] is not None else 0,
+                c["policies"],
+                c["thresholds"],
+            )
+        )
+        analyzed[scenario] = {
+            "cells": cells,
+            "front": [
+                {
+                    "policies": c["policies"],
+                    "thresholds": c["thresholds"],
+                    "objectives": c["objectives"],
+                }
+                for c in cells
+                if c["rank"] == 1
+            ],
+        }
+    return {
+        "sweep": report.get("sweep"),
+        "objectives": list(objectives),
+        "scenarios": analyzed,
+    }
+
+
+def pareto_json(analysis: dict, indent: int = 2) -> str:
+    """Canonical JSON (sorted keys) of an :func:`analyze_report` result."""
+    return json.dumps(analysis, sort_keys=True, indent=indent)
+
+
+def pareto_csv(analysis: dict) -> str:
+    """One CSV row per analyzed cell: identity, rank, then the objectives."""
+    objectives = list(analysis["objectives"])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["scenario", "policies", "thresholds", "rank"] + objectives)
+    for scenario in sorted(analysis["scenarios"]):
+        for cell in analysis["scenarios"][scenario]["cells"]:
+            writer.writerow(
+                [
+                    scenario,
+                    cell["policies"],
+                    cell["thresholds"],
+                    "" if cell["rank"] is None else cell["rank"],
+                ]
+                + [cell["objectives"].get(name, "") for name in objectives]
+            )
+    return buffer.getvalue()

@@ -208,6 +208,36 @@ class TestExecutors:
         assert serial.to_json() == parallel.to_json()
         assert serial.to_csv() == parallel.to_csv()
 
+    def test_chunked_pool_outcomes_identical_to_unchunked(self):
+        spec = _tiny_sweep()
+        unchunked = run_sweep(spec, executor=MultiprocessExecutor(jobs=2))
+        chunked = run_sweep(spec, executor=MultiprocessExecutor(jobs=2, chunksize=3))
+        assert unchunked.to_json() == chunked.to_json()
+        with pytest.raises(ValueError, match="chunksize"):
+            MultiprocessExecutor(jobs=2, chunksize=0)
+
+    def test_failed_outcome_carries_truncated_traceback(self):
+        from repro.sweeps.executor import TRACEBACK_LIMIT_CHARS
+
+        outcome = execute_run({"index": 0})  # missing required keys
+        assert outcome["status"] == "failed"
+        assert "Traceback" in outcome["traceback"]
+        assert len(outcome["traceback"]) <= TRACEBACK_LIMIT_CHARS + 64
+        ok = execute_run(_tiny_sweep().expand()[0].to_dict())
+        assert ok["status"] == "ok" and ok["traceback"] is None
+
+    def test_traceback_excluded_from_canonical_report(self):
+        spec = _tiny_sweep()
+        payloads = [run.to_dict() for run in spec.expand()]
+        payloads[0] = {**payloads[0], "scenario": "does-not-exist"}
+        outcomes = SerialExecutor().map(payloads)
+        assert outcomes[0]["traceback"]  # present on the wire...
+        report = SweepReport.from_outcomes(spec, outcomes)
+        # ...but never in the canonical serializations: tracebacks vary by
+        # Python version and filesystem layout, reports must not.
+        assert "traceback" not in report.to_json()
+        assert "Traceback" not in report.to_csv()
+
 
 # -------------------------------------------------------------------- report
 class TestSweepReport:
@@ -288,6 +318,141 @@ class TestSweepReport:
         assert report.failed == 1
         assert report.failures()[0]["error"]
         assert report.to_csv().count("failed") == 1
+
+
+# ------------------------------------------------------------ Pareto analysis
+class TestParetoAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self) -> dict:
+        report = run_sweep(_tiny_sweep(), jobs=1)
+        return report.pareto()
+
+    def test_every_scenario_has_a_front_of_rank_one_cells(self, analysis):
+        from repro.sweeps import PARETO_OBJECTIVES
+
+        assert analysis["objectives"] == list(PARETO_OBJECTIVES)
+        assert set(analysis["scenarios"]) == {"steady-churn", "flash-crowd"}
+        for entry in analysis["scenarios"].values():
+            assert entry["front"]
+            assert {cell["rank"] for cell in entry["cells"]} >= {1}
+            front_labels = {(c["policies"], c["thresholds"]) for c in entry["front"]}
+            rank_one = {
+                (c["policies"], c["thresholds"])
+                for c in entry["cells"]
+                if c["rank"] == 1
+            }
+            assert front_labels == rank_one
+
+    def test_no_front_member_is_dominated_by_any_cell(self, analysis):
+        from repro.sweeps.report import dominates
+
+        objectives = analysis["objectives"]
+        for entry in analysis["scenarios"].values():
+            vectors = [
+                [c["objectives"][name] for name in objectives]
+                for c in entry["cells"]
+                if c["rank"] is not None
+            ]
+            for front_cell in entry["front"]:
+                front_vector = [front_cell["objectives"][name] for name in objectives]
+                assert not any(dominates(v, front_vector) for v in vectors)
+
+    def test_analysis_is_deterministic_and_serializable(self, analysis):
+        from repro.sweeps.report import pareto_csv, pareto_json
+
+        report = run_sweep(_tiny_sweep(), jobs=2)
+        assert pareto_json(report.pareto()) == pareto_json(analysis)
+        lines = pareto_csv(analysis).splitlines()
+        assert lines[0] == "scenario,policies,thresholds,rank," + ",".join(
+            analysis["objectives"]
+        )
+        assert len(lines) == 1 + sum(
+            len(entry["cells"]) for entry in analysis["scenarios"].values()
+        )
+
+    def test_unknown_objective_and_junk_report_rejected(self):
+        from repro.sweeps.report import analyze_report
+
+        report = run_sweep(_tiny_sweep(scenarios=["steady-churn"]), jobs=1)
+        with pytest.raises(ValueError, match="unknown objective"):
+            analyze_report(report.to_dict(), objectives=["bogus"])
+        with pytest.raises(ValueError, match="at least one objective"):
+            analyze_report(report.to_dict(), objectives=[])
+        with pytest.raises(ValueError, match="not a sweep report"):
+            analyze_report({"hello": "world"})
+
+    def test_all_failed_cell_is_unranked_and_off_the_front(self):
+        from repro.sweeps.report import analyze_report
+
+        spec = _tiny_sweep(scenarios=["steady-churn"])
+        payloads = [run.to_dict() for run in spec.expand()]
+        # Fail the second policy cell while keeping its scenario/policies
+        # labels intact, so the failed group stays inside steady-churn.
+        payloads[1] = {**payloads[1], "policies": {"placement": {"name": "bogus"}}}
+        report = SweepReport.from_outcomes(spec, SerialExecutor().map(payloads))
+        analysis = analyze_report(report.to_dict())
+        cells = analysis["scenarios"]["steady-churn"]["cells"]
+        unranked = [c for c in cells if c["rank"] is None]
+        assert len(unranked) == 1 and unranked[0]["failed"] == 1
+        assert cells[-1] is unranked[0]  # unranked cells sort last
+        front = analysis["scenarios"]["steady-churn"]["front"]
+        assert all(c["policies"] != unranked[0]["policies"] for c in front)
+
+    def test_pareto_ranks_properties(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.sweeps.report import dominates, pareto_ranks
+
+        vector = st.lists(
+            st.integers(min_value=0, max_value=4), min_size=3, max_size=3
+        )
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.lists(vector, min_size=1, max_size=12))
+        def check(vectors):
+            ranks = pareto_ranks(vectors)
+            assert len(ranks) == len(vectors)
+            assert min(ranks) == 1
+            for i, rank in enumerate(ranks):
+                # Front members are dominated by nothing at all.
+                if rank == 1:
+                    assert not any(
+                        dominates(v, vectors[i]) for j, v in enumerate(vectors) if j != i
+                    )
+                else:
+                    # Peeling invariant: a rank-r cell is dominated by some
+                    # rank-(r-1) cell and by nothing of rank >= r.
+                    assert any(
+                        dominates(vectors[j], vectors[i])
+                        for j in range(len(vectors))
+                        if ranks[j] == rank - 1
+                    )
+                    assert not any(
+                        dominates(vectors[j], vectors[i])
+                        for j in range(len(vectors))
+                        if ranks[j] >= rank
+                    )
+            # Order-independence: reversing the input permutes the ranks.
+            assert pareto_ranks(vectors[::-1]) == ranks[::-1]
+            # Equal vectors always share a rank.
+            for i, a in enumerate(vectors):
+                for j, b in enumerate(vectors):
+                    if a == b:
+                        assert ranks[i] == ranks[j]
+
+        check()
+
+    def test_truncated_traceback_helper_bounds_length(self):
+        from repro.sweeps.executor import TRACEBACK_LIMIT_CHARS, _truncated_traceback
+
+        try:
+            raise ValueError("x" * (3 * TRACEBACK_LIMIT_CHARS))
+        except ValueError:
+            text = _truncated_traceback()
+        assert text.startswith("... [truncated] ...")
+        assert len(text) <= TRACEBACK_LIMIT_CHARS + 32
+        assert text.endswith("x" * 100 + "\n")
 
 
 # ------------------------------------------------------------------- catalog
